@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables/figures: it runs
+the experiment (timed by pytest-benchmark), prints the same rows/series
+the paper reports, and stores the headline numbers in
+``benchmark.extra_info`` so they land in the JSON output.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one reproduction table to stdout."""
+    print(f"\n=== {title} ===")
+    rendered = [
+        [f"{cell:.4g}" if isinstance(cell, float) else str(cell) for cell in row]
+        for row in rows
+    ]
+    widths = [
+        max(len(col), *(len(row[i]) for row in rendered)) + 2
+        if rendered
+        else len(col) + 2
+        for i, col in enumerate(header)
+    ]
+    print("".join(col.ljust(width) for col, width in zip(header, widths)))
+    for row in rendered:
+        print("".join(cell.ljust(width) for cell, width in zip(row, widths)))
+
+
+@pytest.fixture
+def table():
+    return print_table

@@ -1,0 +1,109 @@
+"""Ablation benchmarks (DESIGN.md's design-choice studies).
+
+Not figures from the paper, but quantifications of its design choices:
+
+* transport ablation — which shared-memory interface (SBI vs N4) buys
+  how much of the event-time reduction;
+* session scaling — per-UE control-plane latency as session count
+  grows (the paper's stated scalability limitation);
+* classifier-in-UPF — Fig 11's result measured inside the actual
+  forwarding pipeline.
+"""
+
+from repro.cp.core5g import SystemConfig
+from repro.experiments.common import run_ue_events
+from repro.experiments.scalability import (
+    classifier_ablation,
+    session_scale_sweep,
+)
+
+
+def test_transport_ablation(benchmark, table):
+    """free5GC -> +shm N4 -> +shm SBI -> full L25GC, per event."""
+    configs = [
+        SystemConfig.free5gc(),
+        SystemConfig.onvm_upf(),      # shm N4 only
+        SystemConfig.shm_sbi_only(),  # shm SBI only
+        SystemConfig.l25gc(),         # both
+    ]
+
+    def run():
+        return {
+            config.name: run_ue_events(config) for config in configs
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    events = ("registration", "session-request", "handover", "paging")
+    table(
+        "Ablation: event completion time (ms) by transport",
+        ["event"] + [config.name for config in configs],
+        [
+            tuple(
+                [event]
+                + [
+                    results[config.name][event].duration * 1e3
+                    for config in configs
+                ]
+            )
+            for event in events
+        ],
+    )
+    for event in events:
+        free = results["free5gc"][event].duration
+        n4_only = results["onvm-upf"][event].duration
+        sbi_only = results["shm-sbi-only"][event].duration
+        full = results["l25gc"][event].duration
+        # The SBI dominates the savings; N4 alone is marginal.
+        assert free - sbi_only > 5 * (free - n4_only)
+        # The full system is at least as fast as either partial one.
+        assert full <= sbi_only and full <= n4_only
+    benchmark.extra_info["sbi_share_of_savings"] = (
+        (results["free5gc"]["paging"].duration
+         - results["shm-sbi-only"]["paging"].duration)
+        / (results["free5gc"]["paging"].duration
+           - results["l25gc"]["paging"].duration)
+    )
+
+
+def test_session_scaling(benchmark, table):
+    rows = benchmark.pedantic(
+        session_scale_sweep,
+        args=(SystemConfig.l25gc(),),
+        kwargs={"session_counts": (1, 5, 10, 25)},
+        rounds=1,
+        iterations=1,
+    )
+    table(
+        "Ablation: session scaling (L25GC)",
+        ["sessions", "reg_ms", "est_ms", "total_s", "messages"],
+        [
+            (row.sessions, row.mean_registration_s * 1e3,
+             row.mean_session_establishment_s * 1e3,
+             row.total_onboarding_s, row.control_messages)
+            for row in rows
+        ],
+    )
+    registrations = [row.mean_registration_s for row in rows]
+    assert max(registrations) < 1.05 * min(registrations)
+
+
+def test_classifier_in_upf(benchmark, table):
+    rows = benchmark.pedantic(
+        classifier_ablation,
+        kwargs={"rule_counts": (0, 8, 48, 98, 498), "lookups": 200},
+        rounds=1,
+        iterations=1,
+    )
+    table(
+        "Ablation: classifier inside the forwarding pipeline (us/pkt)",
+        ["rules/session", "PDR-LL", "PDR-PS", "speedup_x"],
+        [
+            (row.rules_per_session, row.lookup_us["PDR-LL"],
+             row.lookup_us["PDR-PS"], row.speedup())
+            for row in rows
+        ],
+    )
+    final = rows[-1]
+    benchmark.extra_info["speedup_500_rules"] = final.speedup()
+    # The paper's headline: ~20x lookup speedup at scale.
+    assert final.speedup() > 8.0

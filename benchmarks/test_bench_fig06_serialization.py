@@ -1,0 +1,61 @@
+"""Fig 6 — serialization/deserialization/protocol overheads.
+
+Times the four real codecs on the paper's ``PostSmContextsRequest``
+and prints the Fig 6 breakdown.
+"""
+
+import pytest
+
+from repro.experiments.fig06 import measure_serialization
+from repro.sbi.codecs import DescriptorCodec, FlatCodec, JsonCodec, ProtoCodec
+from repro.sbi.messages import PostSmContextsRequest
+
+MESSAGE = PostSmContextsRequest()
+
+
+@pytest.mark.parametrize(
+    "codec_class",
+    [JsonCodec, ProtoCodec, FlatCodec, DescriptorCodec],
+    ids=["json", "protobuf", "flatbuffers", "shm-descriptor"],
+)
+def test_encode(benchmark, codec_class):
+    codec = codec_class()
+    benchmark(codec.encode, MESSAGE)
+
+
+@pytest.mark.parametrize(
+    "codec_class",
+    [JsonCodec, ProtoCodec, FlatCodec, DescriptorCodec],
+    ids=["json", "protobuf", "flatbuffers", "shm-descriptor"],
+)
+def test_decode(benchmark, codec_class):
+    codec = codec_class()
+    encoded = codec.encode(MESSAGE)
+    benchmark(codec.decode, encoded)
+
+
+def test_fig06_table(benchmark, table):
+    rows = benchmark.pedantic(
+        measure_serialization, kwargs={"repeats": 100}, rounds=1, iterations=1
+    )
+    table(
+        "Fig 6: serialization overheads (PostSmContextsRequest)",
+        ["format", "serialize_us", "deserialize_us", "protocol_us",
+         "total_us", "bytes"],
+        [
+            (
+                row.format,
+                row.serialize_s * 1e6,
+                row.deserialize_s * 1e6,
+                row.protocol_s * 1e6,
+                row.total_s * 1e6,
+                row.encoded_bytes,
+            )
+            for row in rows
+        ],
+    )
+    shm = next(row for row in rows if row.format == "shm-descriptor")
+    json_row = next(row for row in rows if row.format == "json")
+    benchmark.extra_info["json_total_us"] = json_row.total_s * 1e6
+    benchmark.extra_info["shm_total_us"] = shm.total_s * 1e6
+    assert shm.total_s < json_row.total_s / 50

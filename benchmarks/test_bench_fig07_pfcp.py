@@ -1,0 +1,38 @@
+"""Fig 7 — single PFCP message latency SMF <-> UPF-C.
+
+Also micro-benchmarks the real TLV codec on the same messages.
+"""
+
+import pytest
+
+from repro.experiments.fig07 import MESSAGE_BUILDERS, pfcp_message_latency
+from repro.pfcp import decode_message
+
+
+@pytest.mark.parametrize("name", list(MESSAGE_BUILDERS), ids=str)
+def test_tlv_encode(benchmark, name):
+    message = MESSAGE_BUILDERS[name]()
+    benchmark(message.encode)
+
+
+@pytest.mark.parametrize("name", list(MESSAGE_BUILDERS), ids=str)
+def test_tlv_decode(benchmark, name):
+    encoded = MESSAGE_BUILDERS[name]().encode()
+    benchmark(decode_message, encoded)
+
+
+def test_fig07_table(benchmark, table):
+    rows = benchmark.pedantic(pfcp_message_latency, rounds=1, iterations=1)
+    table(
+        "Fig 7: PFCP message latency (transport + handler)",
+        ["message", "free5gc_us", "l25gc_us", "reduction_%"],
+        [
+            (row.message, row.free5gc_s * 1e6, row.l25gc_s * 1e6,
+             row.reduction * 100)
+            for row in rows
+        ],
+    )
+    for row in rows:
+        benchmark.extra_info[f"{row.message}_reduction"] = row.reduction
+        # The paper's band: 21-39 % reduction.
+        assert 0.21 <= row.reduction <= 0.40

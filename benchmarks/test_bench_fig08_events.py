@@ -1,0 +1,30 @@
+"""Fig 8 — total control-plane latency per UE event, three systems."""
+
+from repro.experiments.fig08 import event_completion_times
+
+
+def test_fig08_table(benchmark, table):
+    rows = benchmark.pedantic(event_completion_times, rounds=1, iterations=1)
+    table(
+        "Fig 8: event completion time (ms)",
+        ["event", "free5gc", "onvm-upf", "l25gc", "reduction_%", "messages"],
+        [
+            (
+                row.event,
+                row.free5gc_s * 1e3,
+                row.onvm_upf_s * 1e3,
+                row.l25gc_s * 1e3,
+                row.reduction * 100,
+                row.messages,
+            )
+            for row in rows
+        ],
+    )
+    for row in rows:
+        benchmark.extra_info[f"{row.event}_reduction"] = row.reduction
+        # "Reduces event completion time by ~50% ... up to 51%".
+        assert 0.40 <= row.reduction <= 0.62
+    paging = next(row for row in rows if row.event == "paging")
+    handover = next(row for row in rows if row.event == "handover")
+    assert abs(paging.free5gc_s - 59e-3) / 59e-3 < 0.15
+    assert abs(handover.l25gc_s - 130e-3) / 130e-3 < 0.10

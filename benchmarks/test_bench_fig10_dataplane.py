@@ -1,0 +1,104 @@
+"""Fig 10 — data-plane throughput and latency vs. packet size,
+plus the §5.3 40 Gbps core-scaling study.
+
+Also micro-benchmarks the real UPF-U forwarding pipeline per packet.
+"""
+
+import pytest
+
+from repro.experiments.fig10 import (
+    latency_vs_packet_size,
+    scaling_40g,
+    throughput_vs_packet_size,
+)
+from repro.net import Direction, FiveTuple, Packet
+from repro.pfcp.builder import build_session_establishment
+from repro.sim import Environment
+from repro.up import SessionTable, UPFControlPlane, UPFUserPlane
+
+UE_IP = 0x0A3C0001
+
+
+def _pipeline():
+    env = Environment()
+    table = SessionTable()
+    upf_u = UPFUserPlane(env, table)
+    upf_c = UPFControlPlane(table, upf_u=upf_u, address=1)
+    upf_c.handle(
+        build_session_establishment(
+            seid=1, sequence=1, ue_ip=UE_IP, upf_address=1,
+            ul_teid=0x100, gnb_address=2, dl_teid=0x500,
+        )
+    )
+    return upf_u
+
+
+def test_upf_forwarding_downlink(benchmark):
+    """Real per-packet cost of the match-action pipeline (DL)."""
+    upf_u = _pipeline()
+    packet = Packet(
+        direction=Direction.DOWNLINK,
+        flow=FiveTuple(src_ip=1, dst_ip=UE_IP, src_port=80, dst_port=4000),
+    )
+    benchmark(upf_u.process, packet)
+    assert upf_u.stats.forwarded_dl > 0
+
+
+def test_upf_forwarding_uplink(benchmark):
+    upf_u = _pipeline()
+    packet = Packet(
+        direction=Direction.UPLINK,
+        teid=0x100,
+        flow=FiveTuple(src_ip=UE_IP, dst_ip=1, src_port=4000, dst_port=80),
+    )
+    benchmark(upf_u.process, packet)
+    assert upf_u.stats.forwarded_ul > 0
+
+
+def test_fig10_throughput_table(benchmark, table):
+    rows = benchmark.pedantic(
+        throughput_vs_packet_size, rounds=1, iterations=1
+    )
+    table(
+        "Fig 10(a,b): throughput vs packet size (Gbps)",
+        ["size_B", "free5gc_uni", "l25gc_uni", "ratio_x",
+         "free5gc_bidir", "l25gc_bidir"],
+        [
+            (
+                row.size,
+                row.free5gc_uni_gbps,
+                row.l25gc_uni_gbps,
+                row.uni_ratio,
+                row.free5gc_bidir_gbps,
+                row.l25gc_bidir_gbps,
+            )
+            for row in rows
+        ],
+    )
+    at68 = next(row for row in rows if row.size == 68)
+    benchmark.extra_info["ratio_68B"] = at68.uni_ratio
+    assert 24.0 <= at68.uni_ratio <= 30.0  # the paper's 27x
+
+
+def test_fig10_latency_table(benchmark, table):
+    rows = benchmark.pedantic(latency_vs_packet_size, rounds=1, iterations=1)
+    table(
+        "Fig 10(c): mean end-to-end latency (us)",
+        ["size_B", "free5gc_us", "l25gc_us"],
+        [(row.size, row.free5gc_s * 1e6, row.l25gc_s * 1e6) for row in rows],
+    )
+    for row in rows:
+        assert row.free5gc_s > 4 * row.l25gc_s
+
+
+def test_40g_scaling_table(benchmark, table):
+    rows = benchmark.pedantic(scaling_40g, rounds=1, iterations=1)
+    table(
+        "§5.3: UPF cores vs MTU forwarding rate on a 40G link",
+        ["cores", "gbps"],
+        [(row.cores, row.mtu_gbps) for row in rows],
+    )
+    by_cores = {row.cores: row.mtu_gbps for row in rows}
+    assert by_cores[1] >= 10.0
+    assert 24.0 <= by_cores[2] <= 30.0  # the paper's 28 Gbps
+    assert by_cores[4] >= 39.0          # saturates the 40G link

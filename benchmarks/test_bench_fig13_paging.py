@@ -1,0 +1,39 @@
+"""Fig 13 + Table 1 — data-plane latency during a paging event."""
+
+from repro.cp.core5g import SystemConfig
+from repro.experiments.fig13 import paging_data_plane
+
+
+def test_table1(benchmark, table):
+    def run():
+        return {
+            config.name: paging_data_plane(config)
+            for config in (SystemConfig.free5gc(), SystemConfig.l25gc())
+        }
+
+    observations = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        "Table 1: control and data plane behaviour (paging event)",
+        ["system", "base_rtt_us", "paging_ms", "rtt_after_ms",
+         "pkts_elevated", "dropped"],
+        [
+            (
+                name,
+                observation.base_rtt_s * 1e6,
+                observation.paging_time_s * 1e3,
+                observation.rtt_after_paging_s * 1e3,
+                observation.elevated_packets,
+                observation.dropped,
+            )
+            for name, observation in observations.items()
+        ],
+    )
+    free, l25gc = observations["free5gc"], observations["l25gc"]
+    benchmark.extra_info["paging_ratio"] = (
+        free.paging_time_s / l25gc.paging_time_s
+    )
+    # Paper: 116/25 us base; 59/28 ms paging; 608/294 elevated.
+    assert abs(free.base_rtt_s - 116e-6) / 116e-6 < 0.10
+    assert abs(l25gc.base_rtt_s - 25e-6) / 25e-6 < 0.10
+    assert 1.7 <= free.paging_time_s / l25gc.paging_time_s <= 2.4
+    assert free.elevated_packets > 1.7 * l25gc.elevated_packets

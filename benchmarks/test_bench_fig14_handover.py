@@ -1,0 +1,50 @@
+"""Fig 14 + Table 2 — data-plane latency during a handover event."""
+
+import pytest
+
+from repro.cp.core5g import SystemConfig
+from repro.experiments.fig14 import handover_data_plane
+
+
+@pytest.mark.parametrize("sessions", [1, 4], ids=["expt-i", "expt-ii"])
+def test_table2(benchmark, table, sessions):
+    def run():
+        return {
+            config.name: handover_data_plane(
+                config, concurrent_sessions=sessions
+            )
+            for config in (SystemConfig.free5gc(), SystemConfig.l25gc())
+        }
+
+    observations = benchmark.pedantic(run, rounds=1, iterations=1)
+    table(
+        f"Table 2 ({'expt i' if sessions == 1 else 'expt ii'}): "
+        "handover event",
+        ["system", "base_rtt_us", "ho_ms", "rtt_after_ms",
+         "pkts_elevated", "dropped"],
+        [
+            (
+                name,
+                observation.base_rtt_s * 1e6,
+                observation.handover_time_s * 1e3,
+                observation.rtt_after_handover_s * 1e3,
+                observation.elevated_packets,
+                observation.dropped,
+            )
+            for name, observation in observations.items()
+        ],
+    )
+    free, l25gc = observations["free5gc"], observations["l25gc"]
+    assert 1.5 <= free.handover_time_s / l25gc.handover_time_s <= 2.0
+    assert free.elevated_packets > l25gc.elevated_packets
+    if sessions == 1:
+        # Expt i anchors: HO 227 vs 130 ms, no drops.
+        assert abs(free.handover_time_s - 227e-3) / 227e-3 < 0.10
+        assert abs(l25gc.handover_time_s - 130e-3) / 130e-3 < 0.10
+        assert free.dropped == 0 and l25gc.dropped == 0
+    else:
+        # Expt ii: 425/39 us base RTT; free5GC's shared buffer drops.
+        assert abs(free.base_rtt_s - 425e-6) / 425e-6 < 0.15
+        assert abs(l25gc.base_rtt_s - 39e-6) / 39e-6 < 0.15
+        assert free.dropped > 0
+        assert l25gc.dropped == 0

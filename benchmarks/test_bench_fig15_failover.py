@@ -1,0 +1,57 @@
+"""§5.5.1-2 + Fig 15 — failover: control-plane and data-plane impact."""
+
+from repro.experiments.fig15 import (
+    control_plane_failover,
+    data_plane_failover,
+)
+
+
+def test_control_plane_failover(benchmark, table):
+    result = benchmark.pedantic(
+        control_plane_failover, rounds=1, iterations=1
+    )
+    table(
+        "§5.5.1: handover completion with a mid-procedure 5GC failure",
+        ["scheme", "completion_ms"],
+        [
+            ("l25gc (no failure)", result.l25gc_ho_without_failure_s * 1e3),
+            ("l25gc (failure)", result.l25gc_ho_with_failure_s * 1e3),
+            ("3gpp reattach", result.reattach_ho_with_failure_s * 1e3),
+        ],
+    )
+    benchmark.extra_info["l25gc_ms"] = result.l25gc_ho_with_failure_s * 1e3
+    benchmark.extra_info["reattach_ms"] = (
+        result.reattach_ho_with_failure_s * 1e3
+    )
+    # Paper: 134 ms vs 130 ms vs 401 ms.
+    penalty = (
+        result.l25gc_ho_with_failure_s - result.l25gc_ho_without_failure_s
+    )
+    assert penalty < 0.008
+    assert abs(result.reattach_ho_with_failure_s - 0.401) < 0.05
+
+
+def test_data_plane_failover(benchmark, table):
+    results = benchmark.pedantic(data_plane_failover, rounds=1, iterations=1)
+    table(
+        "Fig 15: TCP through a 5GC failure",
+        ["scheme", "outage_ms", "pkts_lost", "pkts_replayed",
+         "goodput_during_Mbps", "rtx"],
+        [
+            (
+                name,
+                result.outage_s * 1e3,
+                result.packets_lost,
+                result.packets_replayed,
+                result.goodput_during_bps / 1e6,
+                result.retransmissions,
+            )
+            for name, result in results.items()
+        ],
+    )
+    assert results["l25gc"].packets_lost == 0
+    assert results["3gpp-reattach"].packets_lost > 1000
+    assert (
+        results["l25gc"].goodput_during_bps
+        > results["3gpp-reattach"].goodput_during_bps
+    )

@@ -1,0 +1,34 @@
+"""§5.5.3 + Fig 16 — failure during handover plus data transfer."""
+
+from repro.experiments.fig16 import failover_during_handover
+
+
+def test_fig16_table(benchmark, table):
+    results = benchmark.pedantic(
+        failover_during_handover, rounds=1, iterations=1
+    )
+    table(
+        "Fig 16: failover during handover (TCP transfer in flight)",
+        ["scheme", "stall_ms", "goodput_before_Mbps", "goodput_after_Mbps",
+         "transferred_MB", "rtx", "spurious"],
+        [
+            (
+                name,
+                result.stall_s * 1e3,
+                result.goodput_before_bps / 1e6,
+                result.goodput_after_bps / 1e6,
+                result.total_transferred_bytes / (1 << 20),
+                result.retransmissions,
+                result.spurious_timeouts,
+            )
+            for name, result in results.items()
+        ],
+    )
+    l25gc = results["l25gc"]
+    reattach = results["3gpp-reattach"]
+    benchmark.extra_info["l25gc_goodput_after"] = l25gc.goodput_after_bps
+    # L25GC maintains throughput through the failure (Fig 16b).
+    assert l25gc.goodput_after_bps > 0.85 * l25gc.goodput_before_bps
+    assert l25gc.retransmissions == 0
+    assert reattach.retransmissions > 0
+    assert l25gc.total_transferred_bytes > reattach.total_transferred_bytes

@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the real platform primitives.
+
+Not tied to a single figure — these quantify the building blocks the
+shared-memory design leans on: descriptor rings, the mempool, GTP-U
+encap/decap, the Toeplitz RSS hash, and checkpoint deltas.
+"""
+
+from repro.core import Ring, SharedMemoryPool
+from repro.deploy.rss import hash_five_tuple
+from repro.net import FiveTuple, Packet, decapsulate, encapsulate
+from repro.resiliency import compute_delta
+
+
+def test_ring_enqueue_dequeue(benchmark):
+    ring = Ring(1024)
+
+    def cycle():
+        ring.enqueue("descriptor")
+        return ring.dequeue()
+
+    benchmark(cycle)
+
+
+def test_ring_burst_32(benchmark):
+    ring = Ring(1024)
+    batch = list(range(32))
+
+    def cycle():
+        ring.enqueue_burst(batch)
+        return ring.dequeue_burst(32)
+
+    benchmark(cycle)
+
+
+def test_pool_alloc_free(benchmark):
+    pool = SharedMemoryPool(size=1024)
+
+    def cycle():
+        descriptor = pool.alloc("payload")
+        descriptor.free()
+
+    benchmark(cycle)
+
+
+def test_gtp_encapsulate(benchmark):
+    inner = Packet(
+        size=128,
+        flow=FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4),
+    ).to_bytes()
+    benchmark(encapsulate, inner, 0x100, 10, 20, 9)
+
+
+def test_gtp_decapsulate(benchmark):
+    inner = Packet(
+        size=128,
+        flow=FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4),
+    ).to_bytes()
+    outer = encapsulate(inner, 0x100, 10, 20, 9)
+    benchmark(decapsulate, outer)
+
+
+def test_rss_toeplitz(benchmark):
+    flow = FiveTuple(src_ip=0x0A000001, dst_ip=0x08080808,
+                     src_port=40000, dst_port=443)
+    benchmark(hash_five_tuple, flow)
+
+
+def test_checkpoint_delta(benchmark):
+    old = {f"session-{i}": {"teid": i, "state": "active"} for i in range(50)}
+    new = dict(old)
+    new["session-7"] = {"teid": 7, "state": "handover"}
+    new["session-99"] = {"teid": 99, "state": "active"}
+    benchmark(compute_delta, old, new)

@@ -1,0 +1,48 @@
+"""§5.4.2 — smart buffering benefit: Eq 1 (drops) and Eq 2 (delay)."""
+
+from repro.experiments.smart_buffering import (
+    simulated_drops,
+    smart_buffering_cases,
+)
+
+
+def test_eq1_eq2_table(benchmark, table):
+    cases = benchmark.pedantic(smart_buffering_cases, rounds=1, iterations=1)
+    rows = []
+    for case, entries in cases.items():
+        for entry in entries:
+            rows.append(
+                (
+                    case,
+                    entry.scheme,
+                    entry.buffer_packets,
+                    entry.drops,
+                    entry.one_way_delay_s * 1e3,
+                )
+            )
+    table(
+        "§5.4.2: smart buffering vs 3GPP hairpin (Eqs 1-2)",
+        ["case", "scheme", "buffer_pkts", "drops", "one_way_ms"],
+        rows,
+    )
+    case_ii = {entry.scheme: entry for entry in cases["case-ii"]}
+    assert case_ii["l25gc-smart"].drops == 0
+    assert case_ii["3gpp-hairpin"].drops >= 700  # ~800 in the paper
+    delay_saving = (
+        case_ii["3gpp-hairpin"].one_way_delay_s
+        - case_ii["l25gc-smart"].one_way_delay_s
+    )
+    benchmark.extra_info["hairpin_delay_saving_ms"] = delay_saving * 1e3
+    assert abs(delay_saving - 0.020) < 0.002  # the 20 ms hairpin
+
+
+def test_eq1_packet_level(benchmark):
+    """The packet-level simulation agrees with Eq 1's arithmetic."""
+    drops = benchmark.pedantic(
+        simulated_drops,
+        kwargs={"dl_rate_pps": 10_000, "handover_s": 0.130,
+                "queue_length": 500},
+        rounds=1,
+        iterations=1,
+    )
+    assert abs(drops - 800) <= 2

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Deployment strategy demo (§4): 5GC units behind a UE-aware LB,
+RSS spreading, and a canary rollout of a new UPF version.
+
+    python examples/deployment_scaling.py
+"""
+
+from repro.core import NFManager, NetworkFunction
+from repro.deploy import (
+    CanaryController,
+    NodeSpec,
+    PlacementEngine,
+    RSSIndirection,
+    UEAwareLoadBalancer,
+    UnitHandle,
+)
+from repro.net import FiveTuple, Packet
+from repro.sim import Environment
+
+
+def load_balancing() -> None:
+    print("--- UE-aware load balancing ---")
+    lb = UEAwareLoadBalancer()
+    for unit_id in range(3):
+        lb.add_unit(UnitHandle(unit_id=unit_id, capacity_sessions=100))
+    for index in range(30):
+        lb.assign(f"imsi-2089300000{index:05d}")
+    print(f"session distribution      : {lb.distribution()}")
+    # Affinity: the same UE always lands on the same unit.
+    first = lb.assign("imsi-208930000000005").unit_id
+    again = lb.assign("imsi-208930000000005").unit_id
+    print(f"affinity held             : unit {first} == unit {again}")
+    # A unit fails; its UEs transparently move (state via replicas).
+    lb.mark_failed(first)
+    moved = lb.assign("imsi-208930000000005").unit_id
+    print(f"after unit {first} failure     : UE re-pinned to unit {moved}")
+
+
+def rss_spreading() -> None:
+    print("\n--- RSS across 4 receive queues ---")
+    rss = RSSIndirection(num_queues=4)
+    flows = [
+        FiveTuple(src_ip=0x0A000000 + index, dst_ip=0x08080808,
+                  src_port=40000 + index, dst_port=443)
+        for index in range(64)
+    ]
+    packets = [Packet(flow=flow) for flow in flows for _ in range(4)]
+    queues = rss.dispatch(packets)
+    print(f"per-queue packet counts   : {[len(queue) for queue in queues]}")
+
+
+def canary_rollout() -> None:
+    print("\n--- canary rollout of upf-u v2 ---")
+    env = Environment()
+    manager = NFManager(env)
+    stable = NetworkFunction(env, "upf-u", service_id=2, instance_id=0)
+    canary = NetworkFunction(env, "upf-u-v2", service_id=2, instance_id=1)
+    for nf in (stable, canary):
+        manager.register(nf)
+        nf.status = nf.status.__class__.RUNNING
+    controller = CanaryController(manager, service_id=2)
+    for share in (0.0, 0.1, 0.5, 1.0):
+        controller.set_canary_share(share)
+        hits = sum(
+            1 for _ in range(1000)
+            if manager.lookup(2).instance_id == 1
+        )
+        print(f"canary share {share:4.0%}         : "
+              f"{hits / 10:.1f}% of traffic to v2")
+
+
+def placement() -> None:
+    print("\n--- placement onto 12-core nodes ---")
+    from repro.deploy import FiveGCUnit
+    env = Environment()
+    nodes = [NodeSpec(node_id=index, cores=12) for index in range(2)]
+    engine = PlacementEngine(nodes)
+    for unit_id in range(4):
+        unit = FiveGCUnit(env, unit_id=unit_id)
+        node = engine.place(unit)
+        print(f"unit {unit_id} -> "
+              f"{'node ' + str(node.node_id) if node else 'REJECTED'}")
+    print(f"node utilization          : {engine.utilization()}")
+
+
+if __name__ == "__main__":
+    load_balancing()
+    rss_spreading()
+    canary_rollout()
+    placement()

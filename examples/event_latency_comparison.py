@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Compare UE-event completion times: free5GC vs ONVM-UPF vs L25GC.
+
+Reproduces the shape of the paper's Fig 8 on your terminal: the same
+3GPP procedures run on all three systems; only the inter-NF transport
+(and data path) differs.
+
+    python examples/event_latency_comparison.py
+"""
+
+from repro.experiments.fig08 import event_completion_times
+
+
+def main() -> None:
+    rows = event_completion_times()
+    header = (
+        f"{'event':<16} {'free5GC':>10} {'ONVM-UPF':>10} {'L25GC':>10} "
+        f"{'reduction':>10} {'messages':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row.event:<16} {row.free5gc_s * 1e3:>8.1f}ms "
+            f"{row.onvm_upf_s * 1e3:>8.1f}ms {row.l25gc_s * 1e3:>8.1f}ms "
+            f"{row.reduction * 100:>9.1f}% {row.messages:>9}"
+        )
+    best = max(rows, key=lambda row: row.reduction)
+    print(
+        f"\nL25GC cuts '{best.event}' by {best.reduction * 100:.0f}% — "
+        "the paper reports reductions of up to 51%."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Export the Fig 13/14 RTT time series as CSV for plotting.
+
+The paper's artifact ships plotting scripts for its result figures;
+this produces the equivalent input data: per-packet (send time, RTT)
+series for the paging and handover events, both systems.
+
+    python examples/export_timeseries.py [output-dir]
+
+Plot them with anything, e.g. gnuplot:
+    plot 'fig13_free5gc.csv' using 1:2 with points
+"""
+
+import csv
+import pathlib
+import sys
+
+from repro.cp.core5g import SystemConfig
+from repro.experiments.fig13 import paging_data_plane
+from repro.experiments.fig14 import handover_data_plane
+
+
+def export(series, path: pathlib.Path) -> int:
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["send_time_s", "rtt_ms"])
+        for sent_at, rtt in series.timeline():
+            writer.writerow([f"{sent_at:.6f}", f"{rtt * 1e3:.3f}"])
+    return len(series)
+
+
+def main() -> None:
+    out_dir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    for config in (SystemConfig.free5gc(), SystemConfig.l25gc()):
+        observation = paging_data_plane(config)
+        path = out_dir / f"fig13_{config.name}.csv"
+        count = export(observation.series, path)
+        print(f"{path}: {count} samples "
+              f"(paging {observation.paging_time_s * 1e3:.1f} ms)")
+
+    for config in (SystemConfig.free5gc(), SystemConfig.l25gc()):
+        observation = handover_data_plane(config, concurrent_sessions=1)
+        path = out_dir / f"fig14_{config.name}.csv"
+        count = export(observation.series, path)
+        print(f"{path}: {count} samples "
+              f"(handover {observation.handover_time_s * 1e3:.1f} ms)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""IoT device on WiFi reaching the 5GC through an N3IWF (§2.2).
+
+The device registers with EAP-AKA' over IKEv2, brings up an IPsec
+child SA for its PDU session, and exchanges data — no licensed
+spectrum or base station involved.
+
+    python examples/non3gpp_access.py
+"""
+
+from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
+from repro.net import Direction, FiveTuple, Packet, int_to_ip
+from repro.sim import Environment
+
+
+def main() -> None:
+    env = Environment()
+    core = FiveGCore(env, SystemConfig.l25gc())
+    n3iwf = core.add_n3iwf(100)
+    runner = ProcedureRunner(core)
+    device = core.add_ue("imsi-208930000042001")  # a WiFi sensor
+    detail = {}
+
+    def scenario():
+        result = yield from runner.register_ue_non3gpp(device, n3iwf_id=100)
+        print(f"EAP-AKA' registration : {result.duration * 1e3:6.1f} ms "
+              f"(signalling SA spi={result.detail['signalling_spi']:#x})")
+        result = yield from runner.establish_session_non3gpp(device)
+        detail.update(result.detail)
+        print(f"PDU session over IPsec: {result.duration * 1e3:6.1f} ms "
+              f"(child SA spi={result.detail['child_spi']:#x}, "
+              f"IP {int_to_ip(result.detail['ue_ip'])})")
+
+    env.process(scenario())
+    env.run()
+
+    # Downlink telemetry command to the sensor.
+    core.inject_downlink(Packet(
+        direction=Direction.DOWNLINK,
+        size=120,
+        flow=FiveTuple(src_ip=0x08080808, dst_ip=detail["ue_ip"],
+                       src_port=8883, dst_port=40000),
+        created_at=env.now,
+    ))
+    # Uplink reading from the sensor through the tunnel.
+    core.inject_uplink(Packet(
+        direction=Direction.UPLINK,
+        size=90,
+        teid=detail["ul_teid"],
+        flow=FiveTuple(src_ip=detail["ue_ip"], dst_ip=0x08080808,
+                       src_port=40000, dst_port=8883),
+    ))
+    env.run()
+    received = device.received[0]
+    print(f"downlink delivered    : {received.size} B on the wire "
+          f"(ESP spi={received.meta['esp_spi']:#x}, "
+          f"{received.latency * 1e3:.1f} ms over WiFi)")
+    print(f"uplink at DN          : {len(core.dn_received)} packet(s)")
+    print(f"N3IWF state           : {n3iwf}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Smart buffering during handover (§3.3, §5.4.2).
+
+Streams 10 Kpps of downlink traffic at a UE, triggers an N2 handover
+mid-stream, and shows where packets wait — then compares the 3GPP
+hairpin alternative analytically (Eqs 1-2).
+
+    python examples/smart_buffering_handover.py
+"""
+
+from repro.cp.core5g import SystemConfig
+from repro.experiments.fig14 import handover_data_plane
+from repro.experiments.smart_buffering import smart_buffering_cases
+
+
+def live_handover() -> None:
+    print("--- live handover with 10 Kpps downlink (Table 2 style) ---")
+    for config in (SystemConfig.free5gc(), SystemConfig.l25gc()):
+        observation = handover_data_plane(config, concurrent_sessions=1)
+        row = observation.as_row()
+        print(
+            f"{row['system']:<8} base RTT {row['base_rtt_us']:6.0f} us | "
+            f"HO {row['ho_time_ms']:6.1f} ms | "
+            f"RTT after {row['rtt_after_ho_ms']:6.1f} ms | "
+            f"{row['elevated_packets']} pkts delayed | "
+            f"{row['dropped']} dropped"
+        )
+
+
+def hairpin_analysis() -> None:
+    print("\n--- 3GPP hairpin vs smart buffering (Eqs 1-2) ---")
+    for case, rows in smart_buffering_cases().items():
+        for row in rows:
+            print(
+                f"{case:<8} {row.scheme:<14} buffer={row.buffer_packets:>5} "
+                f"drops={row.drops:>4} one-way delay="
+                f"{row.one_way_delay_s * 1e3:5.0f} ms"
+            )
+    print(
+        "\nWith equal buffers both schemes lose ~800 packets; giving the "
+        "UPF a realistic larger buffer eliminates loss entirely, and the "
+        "direct path always saves the ~20 ms hairpin."
+    )
+
+
+if __name__ == "__main__":
+    live_handover()
+    hairpin_analysis()

@@ -1,0 +1,61 @@
+"""The comparison systems of the paper's evaluation.
+
+Three configurations of the same 3GPP-compliant core:
+
+* :func:`free5gc` — the kernel-based baseline: HTTP/REST+JSON SBI over
+  TCP sockets, PFCP over a UDP socket, the gtp5g kernel-module UPF
+  (interrupt-driven, per-packet copies), linear PDR search, source-gNB
+  handover buffering with hairpin routing (Appendix B of the paper).
+* :func:`onvm_upf` — the hybrid of Fig 8: the UPF runs on the
+  shared-memory NFV platform (so N4 and the data plane are fast) but
+  the rest of the control plane is vanilla free5GC over REST.
+* :func:`l25gc` — the full system: every NF consolidated on the node,
+  SBI and N4 over shared-memory descriptor passing, DPDK-style
+  poll-mode forwarding, PartitionSort PDR lookup, and smart handover
+  buffering at the UPF.
+"""
+
+from __future__ import annotations
+
+from ..core.costs import DEFAULT_COSTS, CostModel
+from ..cp.core5g import FiveGCore, SystemConfig
+from ..sim.engine import Environment
+
+__all__ = ["free5gc", "onvm_upf", "l25gc", "build_core", "SystemConfig"]
+
+
+def build_core(
+    env: Environment,
+    config: SystemConfig,
+    costs: CostModel = DEFAULT_COSTS,
+    num_gnbs: int = 2,
+) -> FiveGCore:
+    """Construct a core for any configuration."""
+    return FiveGCore(env, config, costs=costs, num_gnbs=num_gnbs)
+
+
+def free5gc(
+    env: Environment,
+    costs: CostModel = DEFAULT_COSTS,
+    num_gnbs: int = 2,
+) -> FiveGCore:
+    """The vanilla free5GC baseline."""
+    return build_core(env, SystemConfig.free5gc(), costs, num_gnbs)
+
+
+def onvm_upf(
+    env: Environment,
+    costs: CostModel = DEFAULT_COSTS,
+    num_gnbs: int = 2,
+) -> FiveGCore:
+    """free5GC control plane + ONVM-based UPF (Fig 8's middle bar)."""
+    return build_core(env, SystemConfig.onvm_upf(), costs, num_gnbs)
+
+
+def l25gc(
+    env: Environment,
+    costs: CostModel = DEFAULT_COSTS,
+    num_gnbs: int = 2,
+) -> FiveGCore:
+    """The full L25GC system."""
+    return build_core(env, SystemConfig.l25gc(), costs, num_gnbs)

@@ -1,0 +1,49 @@
+"""PDR lookup structures: linear list, Tuple Space Search, PartitionSort.
+
+The three classifiers implement one interface
+(:class:`~repro.classifier.base.Classifier`) and return identical
+results for identical rule sets; they differ only in complexity —
+exactly the comparison of the paper's Fig 11.  The
+:class:`~repro.classifier.classbench.ClassBenchGenerator` produces the
+synthetic PDR sets (20 PDI IEs) used for evaluation.
+"""
+
+from .base import Classifier
+from .classbench import (
+    PROFILE_BEST,
+    PROFILE_MIXED,
+    PROFILE_WORST,
+    ClassBenchGenerator,
+)
+from .linear import LinearClassifier
+from .partition_sort import PartitionSortClassifier
+from .rule import (
+    NUM_FIELDS,
+    PDI_FIELDS,
+    FieldSpec,
+    PacketKey,
+    Rule,
+    exact,
+    prefix,
+    wildcard,
+)
+from .tss import TupleSpaceClassifier
+
+__all__ = [
+    "Classifier",
+    "PROFILE_BEST",
+    "PROFILE_MIXED",
+    "PROFILE_WORST",
+    "ClassBenchGenerator",
+    "LinearClassifier",
+    "PartitionSortClassifier",
+    "NUM_FIELDS",
+    "PDI_FIELDS",
+    "FieldSpec",
+    "PacketKey",
+    "Rule",
+    "exact",
+    "prefix",
+    "wildcard",
+    "TupleSpaceClassifier",
+]

@@ -1,0 +1,56 @@
+"""The classifier interface shared by PDR-LL, PDR-TSS and PDR-PS."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from .rule import Rule
+
+__all__ = ["Classifier"]
+
+
+class Classifier:
+    """Interface: insert/remove rules, look up the best match.
+
+    ``lookup`` returns the matching rule with the highest priority, or
+    None.  All three implementations must return identical results for
+    identical rule sets — the property tests enforce this equivalence
+    against :class:`~repro.classifier.linear.LinearClassifier` as the
+    reference oracle.
+    """
+
+    name = "abstract"
+
+    def insert(self, rule: Rule) -> None:
+        raise NotImplementedError
+
+    def remove(self, rule: Rule) -> bool:
+        """Remove a rule (matched by rule_id); True if it was present."""
+        raise NotImplementedError
+
+    def lookup(self, key: Sequence[int]) -> Optional[Rule]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def extend(self, rules: Iterable[Rule]) -> None:
+        """Bulk insert."""
+        for rule in rules:
+            self.insert(rule)
+
+    def update(self, rule: Rule) -> None:
+        """Replace the rule with the same rule_id (PDR update path).
+
+        The stored rule may have different match ranges, so it is
+        located by id rather than by position.
+        """
+        for existing in self.rules():
+            if existing.rule_id == rule.rule_id:
+                self.remove(existing)
+                break
+        self.insert(rule)
+
+    def rules(self) -> List[Rule]:
+        """Snapshot of all stored rules (order unspecified)."""
+        raise NotImplementedError

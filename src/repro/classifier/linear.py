@@ -1,0 +1,54 @@
+"""PDR-LL: the 3GPP-recommended linear search over a priority list.
+
+TS 29.244 §5.2.1 instructs the UPF to keep PDRs "in a list in
+descending order of their precedence" and scan until the first match.
+This is the baseline the paper shows does not scale (Fig 11), and it is
+also the reference oracle for the other classifiers' correctness tests
+(first match in descending priority order == highest-priority match).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Optional, Sequence
+
+from .base import Classifier
+from .rule import Rule
+
+__all__ = ["LinearClassifier"]
+
+
+class LinearClassifier(Classifier):
+    """A priority-descending list of rules, scanned linearly."""
+
+    name = "PDR-LL"
+
+    def __init__(self) -> None:
+        self._rules: List[Rule] = []  # descending priority
+        self._sort_keys: List[int] = []  # ascending -priority for bisect
+
+    def insert(self, rule: Rule) -> None:
+        """Insert keeping descending-priority order (stable for ties)."""
+        position = bisect.bisect_right(self._sort_keys, -rule.priority)
+        self._rules.insert(position, rule)
+        self._sort_keys.insert(position, -rule.priority)
+
+    def remove(self, rule: Rule) -> bool:
+        for index, existing in enumerate(self._rules):
+            if existing.rule_id == rule.rule_id:
+                del self._rules[index]
+                del self._sort_keys[index]
+                return True
+        return False
+
+    def lookup(self, key: Sequence[int]) -> Optional[Rule]:
+        for rule in self._rules:
+            if rule.matches(key):
+                return rule
+        return None
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def rules(self) -> List[Rule]:
+        return list(self._rules)

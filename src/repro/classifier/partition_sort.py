@@ -1,0 +1,239 @@
+"""PDR-PS: PartitionSort (Yingchareonthawornchai et al., ICNP'16).
+
+PartitionSort partitions the rule set online into a small number of
+*sortable rulesets*.  A ruleset is sortable when, for every pair of
+rules and every field, the two rules' intervals are either identical or
+completely disjoint.  Under that invariant the rules admit a total
+lexicographic order (compare interval by interval along a field order),
+so each ruleset supports:
+
+* lookup by multi-dimensional binary search — O(d + log n) comparisons,
+  with **no hashing** (unlike TSS, which is also why it resists the
+  tuple-space-explosion DoS attack);
+* logarithmic insert/remove, keeping updates fast (the paper measures
+  6.14 us per update vs 0.38 us for the linear list — slower, but
+  "the difference is not substantial" §5.3).
+
+A query probes partitions in decreasing max-priority order and stops as
+soon as the current best match out-prioritizes every remaining
+partition, mirroring the original algorithm's priority pruning.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .base import Classifier
+from .rule import NUM_FIELDS, Rule
+
+__all__ = ["PartitionSortClassifier"]
+
+
+class _Unsortable(Exception):
+    """Raised when a rule cannot join a partition."""
+
+
+def _compare_rule(rule_a: Rule, rule_b: Rule, field_order: Sequence[int]) -> int:
+    """Lexicographic interval comparison along ``field_order``.
+
+    Returns -1 / 0 / +1.  Raises :class:`_Unsortable` when a pair of
+    intervals overlaps without being identical — the pair cannot
+    coexist in a sortable ruleset.
+    """
+    for dim in field_order:
+        a_lo, a_hi = rule_a.ranges[dim]
+        b_lo, b_hi = rule_b.ranges[dim]
+        if a_lo == b_lo and a_hi == b_hi:
+            continue
+        if a_hi < b_lo:
+            return -1
+        if b_hi < a_lo:
+            return 1
+        raise _Unsortable(
+            f"overlapping intervals in dim {dim}: "
+            f"[{a_lo},{a_hi}] vs [{b_lo},{b_hi}]"
+        )
+    return 0
+
+
+def _compare_key(key: Sequence[int], rule: Rule, field_order: Sequence[int]) -> int:
+    """Compare a packet to a rule: -1 left, +1 right, 0 contained."""
+    for dim in field_order:
+        lo, hi = rule.ranges[dim]
+        value = key[dim]
+        if value < lo:
+            return -1
+        if value > hi:
+            return 1
+    return 0
+
+
+class _SortableRuleset:
+    """One partition: rules kept in ascending lexicographic order.
+
+    The sortedness invariant means at most one *distinct* match region
+    can contain a packet; rules with exactly identical ranges share a
+    slot, kept in descending priority.
+    """
+
+    __slots__ = ("field_order", "slots", "max_priority")
+
+    def __init__(self, field_order: Tuple[int, ...]):
+        self.field_order = field_order
+        self.slots: List[List[Rule]] = []
+        self.max_priority = -(2**63)
+
+    def __len__(self) -> int:
+        return sum(len(slot) for slot in self.slots)
+
+    def _locate(self, rule: Rule) -> Tuple[int, bool]:
+        """Binary-search the slot index for ``rule``.
+
+        Returns ``(index, found)``; raises :class:`_Unsortable` if the
+        rule overlaps-without-equality with any probed rule.  Because
+        the stored set is totally ordered and pairwise disjoint-or-
+        equal, a clean comparison against the probe path plus the two
+        neighbors guarantees global sortability.
+        """
+        low, high = 0, len(self.slots)
+        while low < high:
+            mid = (low + high) // 2
+            order = _compare_rule(rule, self.slots[mid][0], self.field_order)
+            if order == 0:
+                return mid, True
+            if order < 0:
+                high = mid
+            else:
+                low = mid + 1
+        # Verify the immediate neighbors as well (the probe path may
+        # not have touched them).
+        if low > 0:
+            _compare_rule(rule, self.slots[low - 1][0], self.field_order)
+        if low < len(self.slots):
+            _compare_rule(rule, self.slots[low][0], self.field_order)
+        return low, False
+
+    def try_insert(self, rule: Rule) -> bool:
+        """Insert if sortable here; False otherwise."""
+        try:
+            index, found = self._locate(rule)
+        except _Unsortable:
+            return False
+        if found:
+            slot = self.slots[index]
+            slot.append(rule)
+            slot.sort(key=lambda r: -r.priority)
+        else:
+            self.slots.insert(index, [rule])
+        if rule.priority > self.max_priority:
+            self.max_priority = rule.priority
+        return True
+
+    def remove(self, rule: Rule) -> bool:
+        try:
+            index, found = self._locate(rule)
+        except _Unsortable:
+            return False
+        if not found:
+            return False
+        slot = self.slots[index]
+        for position, existing in enumerate(slot):
+            if existing.rule_id == rule.rule_id:
+                del slot[position]
+                if not slot:
+                    del self.slots[index]
+                self._recompute_max()
+                return True
+        return False
+
+    def _recompute_max(self) -> None:
+        self.max_priority = max(
+            (slot[0].priority for slot in self.slots),
+            default=-(2**63),
+        )
+
+    def lookup(self, key: Sequence[int]) -> Optional[Rule]:
+        """Multi-dimensional binary search for the containing rule."""
+        slots = self.slots
+        low, high = 0, len(slots)
+        order = self.field_order
+        while low < high:
+            mid = (low + high) // 2
+            position = _compare_key(key, slots[mid][0], order)
+            if position == 0:
+                return slots[mid][0]
+            if position < 0:
+                high = mid
+            else:
+                low = mid + 1
+        return None
+
+    def rules(self) -> List[Rule]:
+        return [rule for slot in self.slots for rule in slot]
+
+
+class PartitionSortClassifier(Classifier):
+    """The PartitionSort classifier with online partitioning."""
+
+    name = "PDR-PS"
+
+    def __init__(self, field_order: Optional[Sequence[int]] = None):
+        self._field_order: Tuple[int, ...] = tuple(
+            field_order if field_order is not None else range(NUM_FIELDS)
+        )
+        self._partitions: List[_SortableRuleset] = []
+        self._count = 0
+
+    @property
+    def num_partitions(self) -> int:
+        """Sortable ruleset count — typically far below TSS's tuple
+        count for the same rules (the paper's 'fewer partitioned rule
+        sets, yielding more consistent performance')."""
+        return len(self._partitions)
+
+    def insert(self, rule: Rule) -> None:
+        # Try existing partitions, largest first — the original
+        # heuristic, which keeps the partition count low.
+        for partition in sorted(self._partitions, key=len, reverse=True):
+            if partition.try_insert(rule):
+                self._count += 1
+                self._resort()
+                return
+        fresh = _SortableRuleset(self._field_order)
+        fresh.try_insert(rule)
+        self._partitions.append(fresh)
+        self._count += 1
+        self._resort()
+
+    def _resort(self) -> None:
+        # Keep partitions in descending max-priority order so lookups
+        # can stop early.
+        self._partitions.sort(key=lambda p: -p.max_priority)
+
+    def remove(self, rule: Rule) -> bool:
+        for partition in self._partitions:
+            if partition.remove(rule):
+                self._count -= 1
+                if len(partition) == 0:
+                    self._partitions.remove(partition)
+                self._resort()
+                return True
+        return False
+
+    def lookup(self, key: Sequence[int]) -> Optional[Rule]:
+        best: Optional[Rule] = None
+        best_priority = -(2**63)
+        for partition in self._partitions:
+            if partition.max_priority <= best_priority:
+                break  # partitions are sorted: nothing better remains
+            candidate = partition.lookup(key)
+            if candidate is not None and candidate.priority > best_priority:
+                best = candidate
+                best_priority = candidate.priority
+        return best
+
+    def __len__(self) -> int:
+        return self._count
+
+    def rules(self) -> List[Rule]:
+        return [rule for partition in self._partitions for rule in partition.rules()]

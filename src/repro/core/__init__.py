@@ -1,0 +1,42 @@
+"""The shared-memory NFV platform core (OpenNetVM-style).
+
+Contains the calibrated :class:`~repro.core.costs.CostModel`, descriptor
+rings and pool, the :class:`~repro.core.nf.NetworkFunction` base class,
+the :class:`~repro.core.manager.NFManager`, and the message-level
+:class:`~repro.core.transport.MessageBus` used by control-plane
+procedures.
+"""
+
+from .costs import DEFAULT_COSTS, Channel, CostModel
+from .manager import NFManager, ServiceEntry
+from .nf import NetworkFunction, NFStatus
+from .pool import (
+    AccessDeniedError,
+    Descriptor,
+    PacketAction,
+    PoolExhaustedError,
+    SharedMemoryPool,
+)
+from .rings import Ring, RingEmptyError, RingFullError
+from .transport import Endpoint, MessageBus, MessageRecord
+
+__all__ = [
+    "DEFAULT_COSTS",
+    "Channel",
+    "CostModel",
+    "NFManager",
+    "ServiceEntry",
+    "NetworkFunction",
+    "NFStatus",
+    "AccessDeniedError",
+    "Descriptor",
+    "PacketAction",
+    "PoolExhaustedError",
+    "SharedMemoryPool",
+    "Ring",
+    "RingEmptyError",
+    "RingFullError",
+    "Endpoint",
+    "MessageBus",
+    "MessageRecord",
+]

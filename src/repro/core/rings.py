@@ -1,0 +1,163 @@
+"""Single-producer / single-consumer descriptor rings.
+
+OpenNetVM attaches a receive (Rx) and a transmit (Tx) ring to every NF;
+the manager and the NF exchange *packet descriptors* (pointers into the
+shared hugepage pool) through these rings without locks.  This module is
+a faithful in-Python counterpart: a fixed-size power-of-two circular
+buffer with separate head/tail counters, batch operations, and watermark
+statistics.  It is a real data structure — the micro-benchmarks in
+``benchmarks/`` measure it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence
+
+__all__ = ["Ring", "RingFullError", "RingEmptyError"]
+
+
+class RingFullError(Exception):
+    """Raised by :meth:`Ring.enqueue` when no slot is free."""
+
+
+class RingEmptyError(Exception):
+    """Raised by :meth:`Ring.dequeue` when no descriptor is queued."""
+
+
+def _round_up_pow2(value: int) -> int:
+    power = 1
+    while power < value:
+        power <<= 1
+    return power
+
+
+class Ring:
+    """A bounded FIFO of descriptors with DPDK-ring semantics.
+
+    Parameters
+    ----------
+    capacity:
+        Usable slot count; rounded up to a power of two internally so
+        index arithmetic is a mask operation, as in ``rte_ring``.
+    name:
+        Identification for debugging and statistics.
+    """
+
+    __slots__ = (
+        "name",
+        "_mask",
+        "_slots",
+        "_head",
+        "_tail",
+        "enqueued",
+        "dequeued",
+        "enqueue_failures",
+        "high_watermark",
+    )
+
+    def __init__(self, capacity: int = 1024, name: str = "ring"):
+        if capacity <= 0:
+            raise ValueError(f"ring capacity must be positive: {capacity!r}")
+        size = _round_up_pow2(capacity)
+        self.name = name
+        self._mask = size - 1
+        self._slots: List[Any] = [None] * size
+        self._head = 0  # next slot to write (producer)
+        self._tail = 0  # next slot to read (consumer)
+        self.enqueued = 0
+        self.dequeued = 0
+        self.enqueue_failures = 0
+        self.high_watermark = 0
+
+    # -- inspection ---------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total number of usable slots."""
+        return self._mask + 1
+
+    def __len__(self) -> int:
+        return self._head - self._tail
+
+    @property
+    def free_count(self) -> int:
+        """Slots currently available to the producer."""
+        return self.capacity - len(self)
+
+    @property
+    def is_empty(self) -> bool:
+        return self._head == self._tail
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) == self.capacity
+
+    # -- single operations ----------------------------------------------------
+    def enqueue(self, descriptor: Any) -> None:
+        """Push one descriptor; raises :class:`RingFullError` when full."""
+        if self.is_full:
+            self.enqueue_failures += 1
+            raise RingFullError(f"{self.name}: ring full ({self.capacity})")
+        self._slots[self._head & self._mask] = descriptor
+        self._head += 1
+        self.enqueued += 1
+        occupancy = len(self)
+        if occupancy > self.high_watermark:
+            self.high_watermark = occupancy
+
+    def dequeue(self) -> Any:
+        """Pop one descriptor; raises :class:`RingEmptyError` when empty."""
+        if self.is_empty:
+            raise RingEmptyError(f"{self.name}: ring empty")
+        index = self._tail & self._mask
+        descriptor = self._slots[index]
+        self._slots[index] = None
+        self._tail += 1
+        self.dequeued += 1
+        return descriptor
+
+    # -- batch operations (the common fast path in ONVM) -----------------------
+    def enqueue_burst(self, descriptors: Sequence[Any]) -> int:
+        """Push as many of ``descriptors`` as fit; returns how many."""
+        space = self.free_count
+        count = min(space, len(descriptors))
+        for i in range(count):
+            self._slots[self._head & self._mask] = descriptors[i]
+            self._head += 1
+        self.enqueued += count
+        self.enqueue_failures += len(descriptors) - count
+        occupancy = len(self)
+        if occupancy > self.high_watermark:
+            self.high_watermark = occupancy
+        return count
+
+    def dequeue_burst(self, max_count: int) -> List[Any]:
+        """Pop up to ``max_count`` descriptors (possibly fewer)."""
+        count = min(max_count, len(self))
+        out: List[Any] = []
+        for _ in range(count):
+            index = self._tail & self._mask
+            out.append(self._slots[index])
+            self._slots[index] = None
+            self._tail += 1
+        self.dequeued += count
+        return out
+
+    def peek(self) -> Optional[Any]:
+        """The oldest descriptor without removing it, or None."""
+        if self.is_empty:
+            return None
+        return self._slots[self._tail & self._mask]
+
+    def clear(self) -> int:
+        """Drop everything; returns the number of discarded descriptors."""
+        dropped = len(self)
+        for i in range(len(self._slots)):
+            self._slots[i] = None
+        self._tail = self._head
+        return dropped
+
+    def __repr__(self) -> str:
+        return (
+            f"Ring({self.name!r}, {len(self)}/{self.capacity}, "
+            f"enq={self.enqueued}, deq={self.dequeued})"
+        )

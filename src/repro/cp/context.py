@@ -1,0 +1,110 @@
+"""Control-plane contexts: the state the NFs keep per UE/session.
+
+The AMF holds a :class:`UEContext` (registration, security, serving
+gNB); the SMF holds an :class:`SMContext` per PDU session (SEID, TEIDs,
+UE IP, handover state).  The resiliency framework checkpoints exactly
+these objects (see :mod:`repro.resiliency.checkpoint`), so they expose
+``snapshot``/``restore`` with plain-dict state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from enum import Enum
+from typing import Any, Dict, Optional
+
+__all__ = ["RegistrationState", "HOState", "UEContext", "SMContext"]
+
+
+class RegistrationState(Enum):
+    """AMF-side registration state machine."""
+
+    DEREGISTERED = "deregistered"
+    AUTHENTICATING = "authenticating"
+    SECURITY = "security-mode"
+    REGISTERED = "registered"
+
+
+class HOState(Enum):
+    """SMF-side handover state (TS 29.502 hoState)."""
+
+    NONE = "none"
+    PREPARING = "preparing"
+    PREPARED = "prepared"
+    COMPLETED = "completed"
+
+
+@dataclass
+class UEContext:
+    """Per-UE state at the AMF."""
+
+    supi: str
+    state: RegistrationState = RegistrationState.DEREGISTERED
+    guti: Optional[str] = None
+    serving_gnb_id: Optional[int] = None
+    security_context: Optional[str] = None
+    am_policy_id: Optional[str] = None
+    cm_connected: bool = False
+    #: Monotonic event counter for replica synchronization.
+    version: int = 0
+
+    def bump(self) -> None:
+        self.version += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["state"] = self.state.value
+        return data
+
+    @classmethod
+    def restore(cls, data: Dict[str, Any]) -> "UEContext":
+        data = dict(data)
+        data["state"] = RegistrationState(data["state"])
+        return cls(**data)
+
+
+@dataclass
+class SMContext:
+    """Per-PDU-session state at the SMF."""
+
+    supi: str
+    pdu_session_id: int
+    seid: int = 0
+    dnn: str = "internet"
+    ue_ip: int = 0
+    ul_teid: int = 0
+    dl_teid: int = 0
+    gnb_address: int = 0
+    ho_state: HOState = HOState.NONE
+    #: Target endpoints staged during handover preparation.
+    target_gnb_address: int = 0
+    target_dl_teid: int = 0
+    up_active: bool = True
+    version: int = 0
+
+    def bump(self) -> None:
+        self.version += 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["ho_state"] = self.ho_state.value
+        return data
+
+    @classmethod
+    def restore(cls, data: Dict[str, Any]) -> "SMContext":
+        data = dict(data)
+        data["ho_state"] = HOState(data["ho_state"])
+        return cls(**data)
+
+    def commit_handover(self) -> None:
+        """Promote the staged target endpoints after HO completion."""
+        if self.ho_state is not HOState.PREPARED:
+            raise RuntimeError(
+                f"cannot commit handover in state {self.ho_state.value}"
+            )
+        self.gnb_address = self.target_gnb_address
+        self.dl_teid = self.target_dl_teid
+        self.target_gnb_address = 0
+        self.target_dl_teid = 0
+        self.ho_state = HOState.COMPLETED
+        self.bump()

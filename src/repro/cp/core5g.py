@@ -1,0 +1,405 @@
+"""Assembly of a complete 5G core: NFs, UPF, RAN, transports.
+
+:class:`FiveGCore` wires the control-plane NFs, the factored UPF, the
+gNBs and UEs onto a :class:`~repro.core.transport.MessageBus`.  The
+:class:`SystemConfig` selects between the three systems the paper
+evaluates — the shared-memory channels, fast-path forwarding, smart
+handover buffering and the PDR classifier are all configuration, while
+the 3GPP message sequences are identical across systems (that is the
+paper's 3GPP-compliance claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple, Type
+
+from ..classifier.base import Classifier
+from ..classifier.linear import LinearClassifier
+from ..classifier.partition_sort import PartitionSortClassifier
+from ..core.costs import DEFAULT_COSTS, Channel, CostModel
+from ..core.transport import MessageBus
+from ..net.addresses import AddressAllocator, ip_to_int
+from ..net.packet import Direction, Packet
+from ..pfcp.messages import PFCPMessage, SessionReportRequest, SessionReportResponse
+from ..ran.gnb import DEFAULT_GNB_BUFFER_PACKETS, GNodeB
+from ..ran.ue import UserEquipment
+from ..sbi.messages import NFDiscoveryRequest, NFDiscoveryResponse, SBIMessage
+from ..sim.engine import Environment, Event
+from ..up.buffer import DEFAULT_UPF_BUFFER_PACKETS
+from ..up.session import SessionTable
+from ..up.upf_c import UPFControlPlane
+from ..up.upf_u import UPFUserPlane
+from .nfs import AMF, AUSF, NRF, PCF, SMF, UDM
+
+__all__ = ["SystemConfig", "FiveGCore"]
+
+
+@dataclass
+class SystemConfig:
+    """Which of the paper's systems this core instance models."""
+
+    name: str = "l25gc"
+    #: SBI transport: HTTP/JSON (free5GC) or shared memory (L25GC).
+    sbi_channel: Channel = Channel.SHARED_MEMORY
+    #: N4 transport: UDP/PFCP (free5GC) or shared memory (L25GC).
+    n4_channel: Channel = Channel.SHARED_MEMORY
+    #: DPDK poll-mode forwarding (True) vs kernel gtp5g (False).
+    fast_path: bool = True
+    #: Buffer handover DL traffic at the UPF (L25GC §3.3) instead of
+    #: the source gNB with hairpin routing (3GPP default).
+    smart_handover_buffering: bool = True
+    #: Model free5GC's per-call NRF discovery round trips on the SBI.
+    nrf_discovery: bool = True
+    #: L25GC buffers per session (§3.3); free5GC's paging/HO buffer
+    #: shares memory with other sessions' kernel backlog.
+    session_scoped_buffering: bool = True
+    #: PDR lookup structure for new sessions.
+    classifier_class: Type[Classifier] = PartitionSortClassifier
+    upf_buffer_packets: int = DEFAULT_UPF_BUFFER_PACKETS
+    gnb_buffer_packets: int = DEFAULT_GNB_BUFFER_PACKETS
+
+    @classmethod
+    def free5gc(cls) -> "SystemConfig":
+        """Vanilla free5GC: kernel UPF, HTTP SBI, UDP PFCP, linear PDRs."""
+        return cls(
+            name="free5gc",
+            sbi_channel=Channel.HTTP_JSON,
+            n4_channel=Channel.UDP_PFCP,
+            fast_path=False,
+            smart_handover_buffering=False,
+            session_scoped_buffering=False,
+            classifier_class=LinearClassifier,
+        )
+
+    @classmethod
+    def onvm_upf(cls) -> "SystemConfig":
+        """The hybrid of Fig 8: ONVM data plane, free5GC control plane.
+
+        Only the N4 interface rides shared memory; the SBI stays on
+        HTTP/REST.
+        """
+        return cls(
+            name="onvm-upf",
+            sbi_channel=Channel.HTTP_JSON,
+            n4_channel=Channel.SHARED_MEMORY,
+            fast_path=True,
+            smart_handover_buffering=False,
+            session_scoped_buffering=True,
+            classifier_class=LinearClassifier,
+        )
+
+    @classmethod
+    def shm_sbi_only(cls) -> "SystemConfig":
+        """Ablation point: shared-memory SBI but free5GC's N4 and data
+        plane.  Not evaluated in the paper; isolates the SBI's share of
+        the event-time reduction."""
+        return cls(
+            name="shm-sbi-only",
+            sbi_channel=Channel.SHARED_MEMORY,
+            n4_channel=Channel.UDP_PFCP,
+            fast_path=False,
+            smart_handover_buffering=False,
+            session_scoped_buffering=False,
+            classifier_class=LinearClassifier,
+        )
+
+    @classmethod
+    def l25gc(cls) -> "SystemConfig":
+        """The full L25GC: shared memory everywhere, PDR-PS, smart HO."""
+        return cls(name="l25gc")
+
+
+class FiveGCore:
+    """One 5GC unit plus its RAN, ready to run procedures.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    config:
+        System selection (see :class:`SystemConfig`).
+    costs:
+        The calibrated cost model.
+    num_gnbs:
+        gNBs instantiated up front (procedures reference them by id,
+        starting at 1).
+    """
+
+    UPF_ADDRESS = ip_to_int("192.168.1.2")
+    DN_ADDRESS = ip_to_int("8.8.8.8")
+
+    def __init__(
+        self,
+        env: Environment,
+        config: Optional[SystemConfig] = None,
+        costs: CostModel = DEFAULT_COSTS,
+        num_gnbs: int = 2,
+    ):
+        self.env = env
+        self.config = config or SystemConfig.l25gc()
+        self.costs = costs
+        self.bus = MessageBus(
+            env, costs, default_channel=self.config.sbi_channel
+        )
+
+        # Control-plane NFs.
+        self.amf = AMF()
+        self.smf = SMF()
+        self.ausf = AUSF()
+        self.udm = UDM()
+        self.pcf = PCF()
+        self.nrf = NRF()
+        for nf in (self.amf, self.smf, self.ausf, self.udm, self.pcf, self.nrf):
+            self.bus.register(nf.name, nf.handle_message)
+            self.nrf.register_nf(nf.name.upper(), f"{nf.name}-inst-1", nf.name)
+
+        # User plane.
+        self.sessions = SessionTable()
+        self.upf_u = UPFUserPlane(
+            env,
+            self.sessions,
+            uplink_sink=self._uplink_to_dn,
+            downlink_sink=self._downlink_to_ran,
+            fast_path=self.config.fast_path,
+            session_scoped_buffering=self.config.session_scoped_buffering,
+            costs=costs,
+        )
+        self.upf_c = UPFControlPlane(
+            self.sessions,
+            upf_u=self.upf_u,
+            address=self.UPF_ADDRESS,
+            classifier_class=self.config.classifier_class,
+            send_report=self._report_to_smf,
+            buffer_capacity=self.config.upf_buffer_packets,
+        )
+        self.upf_u.notify_cp = self.upf_c.on_buffered_data
+        self.upf_u.usage_report_sink = self.upf_c.on_usage_threshold
+        self.bus.register("upf-c", lambda message, bus: None)
+
+        # RAN.
+        self.gnbs: Dict[int, GNodeB] = {}
+        for gnb_id in range(1, num_gnbs + 1):
+            self.add_gnb(gnb_id)
+        self.ues: Dict[str, UserEquipment] = {}
+        self.bus.register("ran", lambda message, bus: None)
+
+        self.ue_ip_pool = AddressAllocator("10.60.0.0", 16)
+        #: DL routing: TEID -> (gNB, UE); kept by the procedures.
+        self.dl_routes: Dict[int, Tuple[GNodeB, UserEquipment]] = {}
+        #: Packets that reached the data network (UL sink).
+        self.dn_received: List[Packet] = []
+        #: Called when a downlink data report arrives at the SMF
+        #: (paging trigger); installed by the procedure runner.
+        self.on_report: Optional[Callable[[SessionReportRequest], None]] = None
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def add_gnb(self, gnb_id: int) -> GNodeB:
+        gnb = GNodeB(
+            self.env,
+            gnb_id=gnb_id,
+            address=ip_to_int(f"192.168.2.{gnb_id}"),
+            buffer_packets=self.config.gnb_buffer_packets,
+        )
+        self.gnbs[gnb_id] = gnb
+        return gnb
+
+    def add_n3iwf(self, n3iwf_id: int = 100):
+        """Attach an N3IWF for non-3GPP (WiFi) access.
+
+        It registers in the RAN-node table alongside the gNBs, so the
+        standard procedures (session establishment, paging) work
+        unchanged — exactly the paper's point about N3IWF access.
+        """
+        from ..ran.n3iwf import N3IWF
+
+        if n3iwf_id in self.gnbs:
+            raise ValueError(f"RAN node id {n3iwf_id} already in use")
+        n3iwf = N3IWF(
+            self.env,
+            n3iwf_id=n3iwf_id,
+            address=ip_to_int(f"192.168.3.{n3iwf_id % 250 + 1}"),
+        )
+        self.gnbs[n3iwf_id] = n3iwf  # duck-typed RAN node
+        return n3iwf
+
+    def add_ue(self, supi: str) -> UserEquipment:
+        ue = UserEquipment(supi=supi)
+        self.ues[supi] = ue
+        self.udm.provision(supi)
+        return ue
+
+    def gnb_by_address(self, address: int) -> Optional[GNodeB]:
+        for gnb in self.gnbs.values():
+            if gnb.address == address:
+                return gnb
+        return None
+
+    # ------------------------------------------------------------------
+    # Control-plane exchange helpers (generators for procedures)
+    # ------------------------------------------------------------------
+    def sbi_exchange(
+        self,
+        source: str,
+        destination: str,
+        request: SBIMessage,
+        response: SBIMessage,
+        discovery: Optional[bool] = None,
+        request_handler_time: Optional[float] = None,
+        response_handler_time: Optional[float] = None,
+    ):
+        """One SBI request/response, optionally preceded by NRF discovery.
+
+        free5GC consults the NRF when the client has no cached profile
+        for the producer; modelling it as an explicit exchange keeps the
+        message counts honest for both systems (L25GC also discovers —
+        just over shared memory).
+        """
+        if discovery is None:
+            discovery = self.config.nrf_discovery
+        if discovery:
+            yield self.bus.send(
+                source,
+                "nrf",
+                NFDiscoveryRequest(
+                    target_nf_type=destination.upper(),
+                    requester_nf_type=source.upper(),
+                ),
+                size=512,
+                handler_time=self.costs.handler_processing / 2,
+            )
+            self.nrf.discover(destination.upper())
+            yield self.bus.send(
+                "nrf",
+                source,
+                NFDiscoveryResponse(),
+                size=1500,
+                handler_time=self.costs.handler_processing / 2,
+            )
+        yield self.bus.send(
+            source,
+            destination,
+            request,
+            size=1024,
+            handler_time=request_handler_time,
+        )
+        yield self.bus.send(
+            destination,
+            source,
+            response,
+            size=768,
+            handler_time=response_handler_time,
+        )
+        return response
+
+    def n4_exchange(self, message: PFCPMessage):
+        """One PFCP request/response applied to the UPF-C.
+
+        The request's rule changes take effect exactly when the UPF-C
+        handler runs — ordering that matters for buffering/flush races.
+        """
+        yield self.bus.send(
+            "smf",
+            "upf-c",
+            message,
+            channel=self.config.n4_channel,
+            size=len(message.encode()),
+            handler_time=message.HANDLER_TIME,
+        )
+        response = self.upf_c.handle(message)
+        yield self.bus.send(
+            "upf-c",
+            "smf",
+            response,
+            channel=self.config.n4_channel,
+            size=len(response.encode()),
+            handler_time=response.HANDLER_TIME,
+        )
+        return response
+
+    def ngap_send(
+        self, source: str, destination: str, message: Any,
+        handler_time: Optional[float] = None,
+    ) -> Event:
+        """One NGAP message over SCTP (identical for all systems)."""
+        return self.bus.send(
+            source,
+            destination,
+            message,
+            channel=Channel.SCTP_NGAP,
+            size=getattr(message, "size", 256),
+            handler_time=(
+                handler_time
+                if handler_time is not None
+                else self.costs.handler_processing
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Data-plane plumbing
+    # ------------------------------------------------------------------
+    def _uplink_to_dn(self, packet: Packet) -> None:
+        packet.delivered_at = self.env.now
+        self.dn_received.append(packet)
+
+    def _downlink_to_ran(self, packet: Packet, teid: int, address: int) -> None:
+        route = self.dl_routes.get(teid)
+        if route is None:
+            return
+        gnb, ue = route
+        # N3 wire + forwarding latency of the selected data path,
+        # inflated by concurrent-session contention; packets released
+        # from (or queued behind) a buffer drain additionally carry the
+        # extra delay the UPF-U computed.
+        active = max(1, len(self.sessions))
+        delay = (
+            self.costs.forward_latency(self.config.fast_path, active)
+            + self.costs.lan_propagation
+            + packet.meta.pop("extra_delay", 0.0)
+        )
+
+        def _deliver():
+            yield self.env.timeout(delay)
+            gnb.receive_downlink(packet, ue)
+
+        self.env.process(_deliver())
+
+    def _report_to_smf(self, report: SessionReportRequest) -> None:
+        """UPF-C -> SMF downlink data report, then the paging hook."""
+
+        def _notify():
+            yield self.bus.send(
+                "upf-c",
+                "smf",
+                report,
+                channel=self.config.n4_channel,
+                size=len(report.encode()),
+                handler_time=report.HANDLER_TIME,
+            )
+            response = SessionReportResponse(
+                seid=report.seid, sequence=report.sequence
+            )
+            yield self.bus.send(
+                "smf",
+                "upf-c",
+                response,
+                channel=self.config.n4_channel,
+                size=len(response.encode()),
+                handler_time=response.HANDLER_TIME,
+            )
+            if self.on_report is not None:
+                self.on_report(report)
+
+        self.env.process(_notify())
+
+    # ------------------------------------------------------------------
+    def inject_downlink(self, packet: Packet) -> None:
+        """A DL packet arrives from the DN at the UPF-U (N6)."""
+        self.upf_u.process(packet)
+
+    def inject_uplink(self, packet: Packet) -> None:
+        """A UL packet arrives from a gNB at the UPF-U (N3)."""
+        packet.direction = Direction.UPLINK
+        self.upf_u.process(packet)

@@ -1,0 +1,22 @@
+"""Deployment: 5GC units, UE-aware LB, RSS, canary rollout, placement."""
+
+from .lb import UEAwareLoadBalancer, UnitHandle
+from .rss import DEFAULT_RSS_KEY, RSSIndirection, hash_five_tuple, toeplitz_hash
+from .slicing import NetworkSlice, SliceManager, SNssai
+from .unit import CanaryController, FiveGCUnit, NodeSpec, PlacementEngine
+
+__all__ = [
+    "UEAwareLoadBalancer",
+    "UnitHandle",
+    "DEFAULT_RSS_KEY",
+    "RSSIndirection",
+    "hash_five_tuple",
+    "toeplitz_hash",
+    "NetworkSlice",
+    "SliceManager",
+    "SNssai",
+    "CanaryController",
+    "FiveGCUnit",
+    "NodeSpec",
+    "PlacementEngine",
+]

@@ -1,0 +1,50 @@
+"""One module per paper figure/table (see DESIGN.md's experiment index).
+
+* :mod:`~repro.experiments.fig06` — serialization overheads (measured)
+* :mod:`~repro.experiments.fig07` — PFCP message latency
+* :mod:`~repro.experiments.fig08` — UE event completion times
+* :mod:`~repro.experiments.fig09` — SBI speedup over HTTP
+* :mod:`~repro.experiments.fig10` — data-plane throughput/latency + 40G
+* :mod:`~repro.experiments.fig11` — PDR classifier sweep (measured)
+* :mod:`~repro.experiments.fig12` — page load time under handovers
+* :mod:`~repro.experiments.fig13` — paging data-plane latency (Table 1)
+* :mod:`~repro.experiments.fig14` — handover data-plane latency (Table 2)
+* :mod:`~repro.experiments.smart_buffering` — §5.4.2 Eqs 1-2
+* :mod:`~repro.experiments.fig15` — failover (control + data planes)
+* :mod:`~repro.experiments.fig16` — failover during handover
+* :mod:`~repro.experiments.fig17` — repeated handovers (Appendix C)
+"""
+
+from . import (
+    common,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    smart_buffering,
+)
+
+__all__ = [
+    "common",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "smart_buffering",
+]

@@ -1,0 +1,97 @@
+"""Fig 6 — serialization, deserialization and protocol overheads.
+
+The paper exchanges a ``PostSmContextsRequest`` between two co-located
+NFs and breaks down the cost per serializing structure: JSON
+(free5GC's REST), Protobuf (Buyakar et al.), FlatBuffers (Neutrino) and
+L25GC's shared-memory descriptor passing.
+
+Here the serialize/deserialize columns are **measured** on the real
+codecs of :mod:`repro.sbi.codecs`; the protocol column (kernel sockets,
+TCP/HTTP processing, copies — zero for shared memory) comes from the
+calibrated cost model, since Python cannot observe a kernel it bypasses.
+The paper's qualitative claims that must hold:
+
+* FlatBuffers' deserialization is near zero but its *protocol* cost
+  remains — optimized serialization alone cannot fix the SBI;
+* shared memory eliminates all three components.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.costs import DEFAULT_COSTS, Channel, CostModel
+from ..sbi.codecs import all_codecs
+from ..sbi.messages import PostSmContextsRequest
+
+__all__ = ["SerializationRow", "measure_serialization", "CODEC_CHANNELS"]
+
+#: Which modeled transport channel each codec rides.
+CODEC_CHANNELS: Dict[str, Channel] = {
+    "json": Channel.HTTP_JSON,
+    "protobuf": Channel.HTTP_PROTOBUF,
+    "flatbuffers": Channel.HTTP_FLATBUFFERS,
+    "shm-descriptor": Channel.SHARED_MEMORY,
+}
+
+
+@dataclass
+class SerializationRow:
+    """One bar group of Fig 6."""
+
+    format: str
+    serialize_s: float
+    deserialize_s: float
+    protocol_s: float
+    encoded_bytes: int
+
+    @property
+    def total_s(self) -> float:
+        return self.serialize_s + self.deserialize_s + self.protocol_s
+
+
+def _measure(operation: Callable[[], object], repeats: int) -> float:
+    """Median wall time of ``operation`` over ``repeats`` runs."""
+    samples = []
+    for _ in range(repeats):
+        begin = time.perf_counter()
+        operation()
+        samples.append(time.perf_counter() - begin)
+    samples.sort()
+    return samples[len(samples) // 2]
+
+
+def measure_serialization(
+    repeats: int = 200, costs: CostModel = DEFAULT_COSTS
+) -> List[SerializationRow]:
+    """Measure every codec on the paper's message; returns Fig 6 rows."""
+    message = PostSmContextsRequest()
+    rows: List[SerializationRow] = []
+    for codec in all_codecs():
+        encoded = codec.encode(message)
+        serialize = _measure(lambda: codec.encode(message), repeats)
+        deserialize = _measure(lambda: codec.decode(encoded), repeats)
+        channel = CODEC_CHANNELS[codec.name]
+        size = len(encoded) if isinstance(encoded, (bytes, bytearray)) else 0
+        if channel is Channel.SHARED_MEMORY:
+            # The microbenchmark exchanges a bare descriptor between
+            # two pinned NFs — ring ops only, no Go shim in the loop.
+            protocol = (
+                2 * costs.ring_op
+                + costs.manager_dispatch
+                + costs.poll_interval
+            )
+        else:
+            protocol = costs.protocol_cost(channel, size or 1024)
+        rows.append(
+            SerializationRow(
+                format=codec.name,
+                serialize_s=serialize,
+                deserialize_s=deserialize,
+                protocol_s=protocol,
+                encoded_bytes=size,
+            )
+        )
+    return rows

@@ -1,0 +1,113 @@
+"""Fig 7 — single PFCP message latency between SMF and UPF-C.
+
+The paper measures the latency of the session messages most critical
+to UE events (establishment, modification, report) over free5GC's
+kernel UDP socket vs. L25GC's shared memory, and finds a 21-39 %
+reduction — far below the SBI's 13x because the (channel-independent)
+PFCP handler dominates.
+
+The experiment *runs* the exchange through the message bus rather than
+summing constants, so it also validates the transport plumbing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.costs import DEFAULT_COSTS, Channel, CostModel
+from ..core.transport import MessageBus
+from ..pfcp.builder import (
+    build_downlink_report,
+    build_path_switch,
+    build_session_establishment,
+)
+from ..pfcp.messages import PFCPMessage
+from ..sim.engine import Environment
+
+__all__ = ["PFCPLatencyRow", "pfcp_message_latency", "MESSAGE_BUILDERS"]
+
+
+def _establishment() -> PFCPMessage:
+    return build_session_establishment(
+        seid=1,
+        sequence=1,
+        ue_ip=0x0A3C0001,
+        upf_address=0xC0A80102,
+        ul_teid=0x1000,
+        gnb_address=0xC0A80101,
+        dl_teid=0x2000,
+    )
+
+
+def _modification() -> PFCPMessage:
+    return build_path_switch(
+        seid=1, sequence=2, new_gnb_address=0xC0A80103, new_dl_teid=0x3000
+    )
+
+
+def _report() -> PFCPMessage:
+    return build_downlink_report(seid=1, sequence=3)
+
+
+MESSAGE_BUILDERS = {
+    "SessionEstablishment": _establishment,
+    "SessionModification": _modification,
+    "SessionReport": _report,
+}
+
+
+@dataclass
+class PFCPLatencyRow:
+    """One message group of Fig 7."""
+
+    message: str
+    free5gc_s: float
+    l25gc_s: float
+
+    @property
+    def reduction(self) -> float:
+        """Fractional latency reduction of L25GC over free5GC."""
+        return 1.0 - self.l25gc_s / self.free5gc_s
+
+
+def _one_way_latency(
+    message: PFCPMessage, channel: Channel, costs: CostModel
+) -> float:
+    """Run one SMF -> UPF-C delivery on a bus; return total latency."""
+    env = Environment()
+    bus = MessageBus(env, costs, default_channel=channel)
+    bus.register("upf-c", lambda m, b: None)
+    done = bus.send(
+        "smf",
+        "upf-c",
+        message,
+        channel=channel,
+        size=len(message.encode()),
+        handler_time=message.HANDLER_TIME,
+    )
+    env.run()
+    if not done.triggered:
+        raise RuntimeError("message was not delivered")
+    record = bus.log[-1]
+    return record.total_latency
+
+
+def pfcp_message_latency(
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[PFCPLatencyRow]:
+    """Fig 7's rows: each message over UDP vs shared memory."""
+    rows: List[PFCPLatencyRow] = []
+    for name, builder in MESSAGE_BUILDERS.items():
+        rows.append(
+            PFCPLatencyRow(
+                message=name,
+                free5gc_s=_one_way_latency(
+                    builder(), Channel.UDP_PFCP, costs
+                ),
+                l25gc_s=_one_way_latency(
+                    builder(), Channel.SHARED_MEMORY, costs
+                ),
+            )
+        )
+    return rows

@@ -1,0 +1,164 @@
+"""Fig 10 — data-plane throughput and latency vs. packet size.
+
+(a) unidirectional UL/DL throughput, (b) bidirectional, (c) mean
+end-to-end latency, each as a function of packet size on a 10 Gbps
+link, plus the §5.3 core-scaling study up to 40 Gbps.
+
+Throughput is the min of the NIC line rate and the CPU-limited
+forwarding rate from the calibrated per-packet costs; this reproduces
+the paper's 27x advantage at 68 B (L25GC at line rate on one core) and
+free5GC's slight improvement at larger packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.costs import DEFAULT_COSTS, CostModel
+
+__all__ = [
+    "PACKET_SIZES",
+    "ThroughputRow",
+    "LatencyRow",
+    "throughput_vs_packet_size",
+    "latency_vs_packet_size",
+    "ScalingRow",
+    "scaling_40g",
+    "line_rate_pps",
+]
+
+#: The swept packet sizes (bytes on the wire).
+PACKET_SIZES = (68, 128, 256, 512, 1024, 1500)
+
+#: Ethernet preamble + IFG + CRC overhead per packet on the wire.
+_WIRE_OVERHEAD = 24
+
+
+def line_rate_pps(size: int, link_bps: float = 10e9) -> float:
+    """Packets/second at line rate for a given packet size."""
+    return link_bps / (8.0 * (size + _WIRE_OVERHEAD))
+
+
+@dataclass
+class ThroughputRow:
+    """One packet size's throughput figures (Gbps of L2 payload)."""
+
+    size: int
+    free5gc_uni_gbps: float
+    l25gc_uni_gbps: float
+    free5gc_bidir_gbps: float
+    l25gc_bidir_gbps: float
+
+    @property
+    def uni_ratio(self) -> float:
+        return self.l25gc_uni_gbps / self.free5gc_uni_gbps
+
+
+@dataclass
+class LatencyRow:
+    """One packet size's mean end-to-end latency (seconds)."""
+
+    size: int
+    free5gc_s: float
+    l25gc_s: float
+
+
+def _throughput_gbps(
+    costs: CostModel,
+    fast_path: bool,
+    size: int,
+    cores: int,
+    link_bps: float,
+    directions: int,
+) -> float:
+    """Offered-load-limited throughput in Gbps (per direction sum).
+
+    With bidirectional traffic the CPU is shared across both
+    directions, while each direction has its own line rate.
+    """
+    cpu_pps = costs.forwarding_rate_pps(fast_path, size, cores)
+    per_direction_line = line_rate_pps(size, link_bps)
+    total_pps = min(cpu_pps, directions * per_direction_line)
+    return total_pps * size * 8.0 / 1e9
+
+
+def throughput_vs_packet_size(
+    costs: CostModel = DEFAULT_COSTS,
+    cores: int = 1,
+    link_bps: float = 10e9,
+) -> List[ThroughputRow]:
+    """Fig 10(a) and (b): uni- and bidirectional throughput."""
+    rows: List[ThroughputRow] = []
+    for size in PACKET_SIZES:
+        rows.append(
+            ThroughputRow(
+                size=size,
+                free5gc_uni_gbps=_throughput_gbps(
+                    costs, False, size, cores, link_bps, 1
+                ),
+                l25gc_uni_gbps=_throughput_gbps(
+                    costs, True, size, cores, link_bps, 1
+                ),
+                free5gc_bidir_gbps=_throughput_gbps(
+                    costs, False, size, cores, link_bps, 2
+                ),
+                l25gc_bidir_gbps=_throughput_gbps(
+                    costs, True, size, cores, link_bps, 2
+                ),
+            )
+        )
+    return rows
+
+
+def latency_vs_packet_size(
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[LatencyRow]:
+    """Fig 10(c): mean end-to-end one-way latency per packet size.
+
+    free5GC pays interrupt-driven kernel processing plus per-byte
+    copies; L25GC's poll-mode path stays flat across sizes.
+    """
+    rows: List[LatencyRow] = []
+    for size in PACKET_SIZES:
+        rows.append(
+            LatencyRow(
+                size=size,
+                free5gc_s=(
+                    costs.kernel_forward_latency
+                    + costs.per_packet_cost(False, size)
+                    + costs.lan_propagation
+                ),
+                l25gc_s=(
+                    costs.dpdk_forward_latency
+                    + costs.per_packet_cost(True, size)
+                    + costs.lan_propagation
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass
+class ScalingRow:
+    """§5.3 'Supporting 40Gbps links': cores -> achievable rate."""
+
+    cores: int
+    mtu_gbps: float
+
+
+def scaling_40g(
+    costs: CostModel = DEFAULT_COSTS, link_bps: float = 40e9
+) -> List[ScalingRow]:
+    """MTU-packet forwarding rate as UPF cores scale 1 -> 4."""
+    rows: List[ScalingRow] = []
+    for cores in (1, 2, 4):
+        rows.append(
+            ScalingRow(
+                cores=cores,
+                mtu_gbps=_throughput_gbps(
+                    costs, True, 1500, cores, link_bps, 1
+                ),
+            )
+        )
+    return rows

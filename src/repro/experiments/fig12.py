@@ -1,0 +1,100 @@
+"""Fig 12 / §5.4.1 — page load time under intermittent handovers.
+
+A Firefox-like page load (six parallel TCP connections, ~15 MB images)
+runs through a 30 Mbps / 20 ms bottleneck while the UE hands over
+periodically.  Each handover stalls the downlink for that system's
+measured handover duration (derived from the Fig 8 procedures, not
+hard-coded): free5GC's stall exceeds the 200 ms minimum RTO and causes
+spurious retransmissions and cwnd collapse; L25GC's does not.
+
+Expected shape: PLT ~32 s vs ~28 s (a ~12.5 % improvement), ~1500
+spurious retransmissions for free5GC vs none for L25GC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.costs import DEFAULT_COSTS, CostModel
+from ..cp.core5g import SystemConfig
+from ..sim.engine import MS, Environment
+from ..tcpmodel.tcp import PathModel
+from ..tcpmodel.web import PageLoad, PageLoadResult
+from .common import run_ue_events
+
+__all__ = ["PageLoadComparison", "page_load_under_handovers", "measured_handover_stall"]
+
+
+def measured_handover_stall(
+    config: SystemConfig, costs: CostModel = DEFAULT_COSTS
+) -> float:
+    """The DL stall one handover imposes: the measured HO duration
+    plus the buffered-drain tail at the configured data rate."""
+    results = run_ue_events(config, costs=costs)
+    duration = results["handover"].duration
+    # Buffered packets re-inject after the switch; at web data rates
+    # (~2.5 kpps of MTU packets at 30 Mbps) the tail is the count times
+    # the per-packet re-injection cost.
+    buffered = 2500 * duration
+    drain = buffered * costs.buffer_reinject(config.fast_path)
+    return duration + drain
+
+
+@dataclass
+class PageLoadComparison:
+    """Fig 12's summary for both systems."""
+
+    free5gc: PageLoadResult
+    l25gc: PageLoadResult
+    free5gc_stall_s: float
+    l25gc_stall_s: float
+
+    @property
+    def plt_improvement(self) -> float:
+        return 1.0 - self.l25gc.plt / self.free5gc.plt
+
+
+def _load_with_stalls(
+    stall: float,
+    handover_period: float,
+    bandwidth_bps: float,
+    base_rtt: float,
+) -> PageLoadResult:
+    env = Environment()
+    path = PathModel(bandwidth_bps=bandwidth_bps, base_rtt=base_rtt)
+    # Handovers recur for the whole plausible load window.
+    for index in range(1, 40):
+        path.add_interruption(start=handover_period * index, duration=stall)
+    return PageLoad(env, path).run()
+
+
+def page_load_under_handovers(
+    costs: CostModel = DEFAULT_COSTS,
+    handover_period: float = 3.0,
+    bandwidth_bps: float = 30e6,
+    base_rtt: float = 20 * MS,
+    free5gc_stall: Optional[float] = None,
+    l25gc_stall: Optional[float] = None,
+) -> PageLoadComparison:
+    """Run the Fig 12 experiment end to end.
+
+    The stalls default to the durations measured from the actual
+    handover procedures (§5.2) — pass overrides to ablate.
+    """
+    if free5gc_stall is None:
+        free5gc_stall = measured_handover_stall(
+            SystemConfig.free5gc(), costs
+        )
+    if l25gc_stall is None:
+        l25gc_stall = measured_handover_stall(SystemConfig.l25gc(), costs)
+    return PageLoadComparison(
+        free5gc=_load_with_stalls(
+            free5gc_stall, handover_period, bandwidth_bps, base_rtt
+        ),
+        l25gc=_load_with_stalls(
+            l25gc_stall, handover_period, bandwidth_bps, base_rtt
+        ),
+        free5gc_stall_s=free5gc_stall,
+        l25gc_stall_s=l25gc_stall,
+    )

@@ -1,0 +1,85 @@
+"""§5.5.3 + Fig 16 — failure during handover *and* data transfer.
+
+A TCP transfer is in flight; at 4.5 s a handover begins, and halfway
+through it the links to the primary 5GC fail.  L25GC replays the
+buffered control (handover) packets and forwards the logged data, so
+the handover completes a few ms late and goodput barely dips.  The
+3GPP approach waits out a re-attach: every buffered packet is lost and
+goodput collapses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..core.costs import DEFAULT_COSTS, CostModel
+from ..sim.engine import MS, Environment
+from ..tcpmodel.tcp import InterruptionKind, PathModel, TCPConnection
+from .fig15 import control_plane_failover
+
+__all__ = ["FailoverDuringHandover", "failover_during_handover"]
+
+
+@dataclass
+class FailoverDuringHandover:
+    """One scheme's Fig 16 outcome."""
+
+    scheme: str
+    stall_s: float
+    goodput_before_bps: float
+    goodput_after_bps: float
+    total_transferred_bytes: int
+    retransmissions: int
+    spurious_timeouts: int
+
+
+def failover_during_handover(
+    costs: CostModel = DEFAULT_COSTS,
+    handover_at: float = 4.5,
+    run_seconds: float = 12.0,
+) -> Dict[str, FailoverDuringHandover]:
+    """Run Fig 16 for both schemes.
+
+    The downlink stall each scheme imposes is the handover duration
+    plus the failover penalty derived by
+    :func:`repro.experiments.fig15.control_plane_failover` — buffered
+    (and replayed) for L25GC, dropped for the 3GPP re-attach.
+    """
+    control = control_plane_failover(costs, failure_fraction=0.5)
+    stalls = {
+        "l25gc": (
+            control.l25gc_ho_with_failure_s,
+            InterruptionKind.BUFFERED,
+        ),
+        "3gpp-reattach": (
+            control.reattach_ho_with_failure_s,
+            InterruptionKind.DROPPED,
+        ),
+    }
+    results: Dict[str, FailoverDuringHandover] = {}
+    for scheme, (stall, kind) in stalls.items():
+        env = Environment()
+        path = PathModel(bandwidth_bps=30e6, base_rtt=20 * MS)
+        path.add_interruption(start=handover_at, duration=stall, kind=kind)
+        # A long transfer spanning the whole window.
+        connection = TCPConnection(
+            env, path, total_bytes=int(30e6 / 8 * run_seconds)
+        )
+        env.process(connection.run())
+        env.run(until=run_seconds)
+        stats = connection.stats
+        results[scheme] = FailoverDuringHandover(
+            scheme=scheme,
+            stall_s=stall,
+            goodput_before_bps=stats.goodput_bps(
+                handover_at - 2.0, handover_at
+            ),
+            goodput_after_bps=stats.goodput_bps(
+                handover_at, min(run_seconds, handover_at + 3.0)
+            ),
+            total_transferred_bytes=stats.bytes_acked,
+            retransmissions=stats.retransmissions,
+            spurious_timeouts=stats.spurious_timeouts,
+        )
+    return results

@@ -1,0 +1,184 @@
+"""Session-scalability and design-choice ablations.
+
+The paper is candid that "L25GC's design is general, although the
+current implementation supports a limited number of user sessions"
+(§1, §3.2: the control plane supports two users; the data plane as
+many as resources allow).  These ablations quantify where session
+count actually bites in our reproduction:
+
+* :func:`session_scale_sweep` — onboarding N UEs (registration + PDU
+  session) and measuring per-UE event latency and aggregate state as N
+  grows; the control plane should scale near-linearly since sessions
+  are independent.
+* :func:`classifier_ablation` — the Fig 11 result *in situ*: UPF-U
+  forwarding wall-time per packet with the session's PDR set held in a
+  linear list vs. PartitionSort, as rules-per-session grows (the
+  paper's challenge 3 trajectory from 2 rules to hundreds).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Type
+
+from ..classifier.base import Classifier
+from ..classifier.linear import LinearClassifier
+from ..classifier.partition_sort import PartitionSortClassifier
+from ..core.costs import DEFAULT_COSTS, CostModel
+from ..cp.core5g import FiveGCore, SystemConfig
+from ..cp.procedures import ProcedureRunner
+from ..net.packet import Direction, FiveTuple, Packet
+from ..pfcp import ies as pfcp_ies
+from ..pfcp.builder import build_session_establishment
+from ..sim.engine import Environment
+from ..up.rules import PDR
+from ..up.session import SessionTable, UPFSession
+from ..up.upf_u import UPFUserPlane
+
+__all__ = [
+    "ScaleRow",
+    "session_scale_sweep",
+    "AblationRow",
+    "classifier_ablation",
+]
+
+
+@dataclass
+class ScaleRow:
+    """Onboarding metrics at one session count."""
+
+    sessions: int
+    mean_registration_s: float
+    mean_session_establishment_s: float
+    total_onboarding_s: float
+    upf_sessions: int
+    control_messages: int
+
+
+def session_scale_sweep(
+    config: SystemConfig,
+    session_counts: Sequence[int] = (1, 2, 5, 10, 25, 50),
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[ScaleRow]:
+    """Onboard N UEs sequentially and record per-UE latencies."""
+    rows: List[ScaleRow] = []
+    for count in session_counts:
+        env = Environment()
+        core = FiveGCore(env, config, costs=costs)
+        runner = ProcedureRunner(core)
+        registrations: List[float] = []
+        establishments: List[float] = []
+
+        def onboard_all():
+            for index in range(count):
+                ue = core.add_ue(f"imsi-2089399{index:08d}")
+                result = yield from runner.register_ue(ue, gnb_id=1)
+                registrations.append(result.duration)
+                result = yield from runner.establish_session(ue)
+                establishments.append(result.duration)
+
+        env.process(onboard_all())
+        env.run()
+        rows.append(
+            ScaleRow(
+                sessions=count,
+                mean_registration_s=sum(registrations) / count,
+                mean_session_establishment_s=sum(establishments) / count,
+                total_onboarding_s=env.now,
+                upf_sessions=len(core.sessions),
+                control_messages=core.bus.total_messages(),
+            )
+        )
+    return rows
+
+
+@dataclass
+class AblationRow:
+    """Forwarding cost at one rules-per-session point."""
+
+    rules_per_session: int
+    lookup_us: Dict[str, float] = field(default_factory=dict)
+
+    def speedup(self) -> float:
+        return self.lookup_us["PDR-LL"] / self.lookup_us["PDR-PS"]
+
+
+def _session_with_rules(
+    classifier_class: Type[Classifier], extra_rules: int
+) -> tuple:
+    """A UPF with one session holding 2 + extra_rules PDRs."""
+    from ..classifier.classbench import ClassBenchGenerator
+    from ..up.upf_c import UPFControlPlane
+
+    env = Environment()
+    table = SessionTable()
+    upf_u = UPFUserPlane(env, table)
+    upf_c = UPFControlPlane(
+        table, upf_u=upf_u, address=1, classifier_class=classifier_class
+    )
+    ue_ip = 0x0A3C0001
+    upf_c.handle(
+        build_session_establishment(
+            seid=1, sequence=1, ue_ip=ue_ip, upf_address=1,
+            ul_teid=0x100, gnb_address=2, dl_teid=0x500,
+        )
+    )
+    session = table.by_seid(1)
+    # Demote the catch-all DL rule below the filter set: firewall/NAT
+    # rules (challenge 3) take precedence over default forwarding, so
+    # every lookup must consider them before falling through.
+    import dataclasses
+
+    base = session.pdrs[2]
+    demoted = PDR(
+        pdr_id=base.pdr_id,
+        precedence=5000,
+        match=dataclasses.replace(base.match, priority=(1 << 16) - 5000),
+        far_id=base.far_id,
+        source_interface=base.source_interface,
+    )
+    session.install_pdr(demoted)
+    # Grow the PDR set with higher-precedence subflow filters that do
+    # not match the probe flow (the scan cost the paper measures).
+    generator = ClassBenchGenerator(seed=13)
+    for index, rule in enumerate(generator.rules(extra_rules)):
+        match = dataclasses.replace(
+            rule, priority=(1 << 16) - (100 + index), rule_id=100 + index
+        )
+        session.install_pdr(
+            PDR(
+                pdr_id=100 + index,
+                precedence=100 + index,
+                match=match,
+                far_id=2,
+                source_interface=pfcp_ies.CORE,
+            )
+        )
+    packet = Packet(
+        direction=Direction.DOWNLINK,
+        flow=FiveTuple(src_ip=1, dst_ip=ue_ip, src_port=80, dst_port=4000),
+    )
+    return upf_u, packet
+
+
+def classifier_ablation(
+    rule_counts: Sequence[int] = (0, 8, 48, 98, 498),
+    lookups: int = 300,
+) -> List[AblationRow]:
+    """Measured per-packet pipeline time, linear list vs PartitionSort."""
+    rows: List[AblationRow] = []
+    for extra in rule_counts:
+        row = AblationRow(rules_per_session=extra + 2)
+        for name, classifier_class in (
+            ("PDR-LL", LinearClassifier),
+            ("PDR-PS", PartitionSortClassifier),
+        ):
+            upf_u, packet = _session_with_rules(classifier_class, extra)
+            begin = time.perf_counter()
+            for _ in range(lookups):
+                upf_u.process(packet)
+            elapsed = time.perf_counter() - begin
+            row.lookup_us[name] = elapsed / lookups * 1e6
+        rows.append(row)
+    return rows

@@ -1,0 +1,149 @@
+"""GTP-U (GPRS Tunnelling Protocol, user plane) encapsulation.
+
+The N3 interface between a gNB and the UPF carries user IP packets inside
+GTP-U tunnels identified by a TEID (tunnel endpoint identifier).  This
+module implements the 3GPP TS 29.281 v1 header, including the optional
+extension header used by 5G for the PDU Session Container (QFI marking),
+plus helpers to encapsulate/decapsulate full IPv4 payloads.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .headers import IPv4Header, UDPHeader, PROTO_UDP
+
+__all__ = [
+    "GTPU_PORT",
+    "GTPUHeader",
+    "encapsulate",
+    "decapsulate",
+]
+
+#: Well-known UDP port for GTP-U.
+GTPU_PORT = 2152
+
+#: Message type for G-PDU (a tunnelled user packet).
+MSG_GPDU = 0xFF
+#: Message type for Echo Request (path management).
+MSG_ECHO_REQUEST = 1
+#: Message type for Echo Response.
+MSG_ECHO_RESPONSE = 2
+#: Message type for End Marker (handover path switch).
+MSG_END_MARKER = 254
+
+#: Extension header type: PDU Session Container (carries the QFI).
+EXT_PDU_SESSION_CONTAINER = 0x85
+
+
+@dataclass
+class GTPUHeader:
+    """A GTPv1-U header.
+
+    The mandatory part is 8 bytes; when ``qfi`` is set the header grows
+    by the 4-byte option field plus a PDU Session Container extension
+    header, exactly as emitted by a 5G gNB/UPF.
+    """
+
+    teid: int = 0
+    message_type: int = MSG_GPDU
+    length: int = 0
+    sequence: Optional[int] = None
+    qfi: Optional[int] = None
+    #: PDU type inside the PDU Session Container: 0 = DL, 1 = UL.
+    pdu_type: int = 0
+
+    BASE_LENGTH = 8
+
+    def pack(self) -> bytes:
+        has_ext = self.qfi is not None
+        has_seq = self.sequence is not None
+        flags = 0x30  # version 1, protocol type GTP
+        if has_ext:
+            flags |= 0x04
+        if has_seq:
+            flags |= 0x02
+        body = b""
+        if has_ext or has_seq:
+            seq = self.sequence or 0
+            next_ext = EXT_PDU_SESSION_CONTAINER if has_ext else 0
+            body += struct.pack("!HBB", seq, 0, next_ext)
+        if has_ext:
+            # PDU Session Container: len(4-byte units), payload, next-ext.
+            container = struct.pack("!BB", (self.pdu_type & 0xF) << 4, self.qfi & 0x3F)
+            body += struct.pack("!B", 1) + container + struct.pack("!B", 0)
+        length = self.length + len(body)
+        return struct.pack("!BBHI", flags, self.message_type, length, self.teid) + body
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["GTPUHeader", bytes]:
+        if len(data) < cls.BASE_LENGTH:
+            raise ValueError("truncated GTP-U header")
+        flags, message_type, length, teid = struct.unpack("!BBHI", data[:8])
+        if flags >> 5 != 1:
+            raise ValueError(f"unsupported GTP version: {flags >> 5}")
+        rest = data[8:]
+        header = cls(teid=teid, message_type=message_type)
+        consumed = 0
+        if flags & 0x07:
+            if len(rest) < 4:
+                raise ValueError("truncated GTP-U option field")
+            seq, _npdu, next_ext = struct.unpack("!HBB", rest[:4])
+            if flags & 0x02:
+                header.sequence = seq
+            consumed = 4
+            while next_ext:
+                if consumed >= len(rest):
+                    raise ValueError("truncated GTP-U extension header")
+                ext_len = rest[consumed] * 4
+                if ext_len == 0:
+                    raise ValueError("zero-length GTP-U extension header")
+                ext = rest[consumed : consumed + ext_len]
+                if len(ext) < ext_len:
+                    raise ValueError("truncated GTP-U extension header")
+                if next_ext == EXT_PDU_SESSION_CONTAINER:
+                    header.pdu_type = ext[1] >> 4
+                    header.qfi = ext[2] & 0x3F
+                next_ext = ext[ext_len - 1]
+                consumed += ext_len
+        header.length = length - consumed
+        return header, rest[consumed:]
+
+
+def encapsulate(
+    inner: bytes,
+    teid: int,
+    outer_src: int,
+    outer_dst: int,
+    qfi: Optional[int] = None,
+    pdu_type: int = 0,
+) -> bytes:
+    """Wrap an inner IP packet in GTP-U / UDP / IPv4 (the N3 stack).
+
+    Returns the full outer IPv4 packet bytes.
+    """
+    gtp = GTPUHeader(teid=teid, length=len(inner), qfi=qfi, pdu_type=pdu_type)
+    gtp_bytes = gtp.pack() + inner
+    udp = UDPHeader(src_port=GTPU_PORT, dst_port=GTPU_PORT)
+    udp_bytes = udp.pack(gtp_bytes, outer_src, outer_dst) + gtp_bytes
+    ip = IPv4Header(
+        src=outer_src,
+        dst=outer_dst,
+        protocol=PROTO_UDP,
+        total_length=IPv4Header.LENGTH + len(udp_bytes),
+    )
+    return ip.pack() + udp_bytes
+
+
+def decapsulate(outer: bytes) -> Tuple[GTPUHeader, bytes]:
+    """Strip the outer IPv4/UDP/GTP-U headers, returning (gtp, inner)."""
+    _ip, rest = IPv4Header.unpack(outer)
+    udp, rest = UDPHeader.unpack(rest)
+    if udp.dst_port != GTPU_PORT:
+        raise ValueError(f"not a GTP-U packet (dst port {udp.dst_port})")
+    gtp, inner = GTPUHeader.unpack(rest)
+    if gtp.message_type != MSG_GPDU:
+        return gtp, b""
+    return gtp, inner

@@ -1,0 +1,244 @@
+"""Real byte-level protocol header codecs.
+
+The data-plane model usually passes :class:`~repro.net.packet.Packet`
+objects around without touching bytes (that is the whole point of
+zero-copy descriptor passing), but wherever the paper's system really
+serializes — GTP-U encapsulation, PFCP TLVs, pcap-style trace dumps —
+we encode and decode actual bytes.  These classes implement Ethernet,
+IPv4, UDP and TCP headers with correct checksums.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Tuple
+
+__all__ = [
+    "EthernetHeader",
+    "IPv4Header",
+    "UDPHeader",
+    "TCPHeader",
+    "internet_checksum",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "ETHERTYPE_IPV4",
+]
+
+PROTO_TCP = 6
+PROTO_UDP = 17
+ETHERTYPE_IPV4 = 0x0800
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _parse_mac(mac: str) -> bytes:
+    parts = mac.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"malformed MAC address: {mac!r}")
+    return bytes(int(p, 16) for p in parts)
+
+
+def _format_mac(data: bytes) -> str:
+    return ":".join(f"{b:02x}" for b in data)
+
+
+@dataclass
+class EthernetHeader:
+    """An Ethernet II header (14 bytes on the wire)."""
+
+    src: str = "02:00:00:00:00:01"
+    dst: str = "02:00:00:00:00:02"
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 14
+
+    def pack(self) -> bytes:
+        return (
+            _parse_mac(self.dst)
+            + _parse_mac(self.src)
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["EthernetHeader", bytes]:
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated Ethernet header")
+        dst = _format_mac(data[0:6])
+        src = _format_mac(data[6:12])
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(src=src, dst=dst, ethertype=ethertype), data[14:]
+
+
+@dataclass
+class IPv4Header:
+    """An IPv4 header without options (20 bytes on the wire).
+
+    Addresses are integers (see :mod:`repro.net.addresses`).
+    """
+
+    src: int = 0
+    dst: int = 0
+    protocol: int = PROTO_UDP
+    total_length: int = 20
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    flags: int = 0
+
+    LENGTH = 20
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        tos = self.dscp << 2
+        header = struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            tos,
+            self.total_length,
+            self.identification,
+            self.flags << 13,
+            self.ttl,
+            self.protocol,
+            0,  # checksum placeholder
+            self.src,
+            self.dst,
+        )
+        checksum = internet_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["IPv4Header", bytes]:
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated IPv4 header")
+        (
+            version_ihl,
+            tos,
+            total_length,
+            identification,
+            flags_frag,
+            ttl,
+            protocol,
+            checksum,
+            src,
+            dst,
+        ) = struct.unpack("!BBHHHBBHII", data[:20])
+        if version_ihl >> 4 != 4:
+            raise ValueError("not an IPv4 packet")
+        ihl = (version_ihl & 0xF) * 4
+        if internet_checksum(data[:ihl]) != 0:
+            raise ValueError("IPv4 header checksum mismatch")
+        header = cls(
+            src=src,
+            dst=dst,
+            protocol=protocol,
+            total_length=total_length,
+            ttl=ttl,
+            identification=identification,
+            dscp=tos >> 2,
+            flags=flags_frag >> 13,
+        )
+        return header, data[ihl:]
+
+
+@dataclass
+class UDPHeader:
+    """A UDP header (8 bytes on the wire).
+
+    The checksum is computed over the pseudo-header when ``pack`` is
+    given the enclosing IPv4 src/dst.
+    """
+
+    src_port: int = 0
+    dst_port: int = 0
+    length: int = 8
+
+    LENGTH = 8
+
+    def pack(self, payload: bytes = b"", src_ip: int = 0, dst_ip: int = 0) -> bytes:
+        length = self.LENGTH + len(payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        pseudo = struct.pack("!IIBBH", src_ip, dst_ip, 0, PROTO_UDP, length)
+        checksum = internet_checksum(pseudo + header + payload)
+        if checksum == 0:
+            checksum = 0xFFFF
+        return struct.pack("!HHHH", self.src_port, self.dst_port, length, checksum)
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["UDPHeader", bytes]:
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated UDP header")
+        src_port, dst_port, length, _checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port=src_port, dst_port=dst_port, length=length), data[8:]
+
+
+@dataclass
+class TCPHeader:
+    """A TCP header without options (20 bytes on the wire)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+
+    LENGTH = 20
+    FLAG_FIN = 0x01
+    FLAG_SYN = 0x02
+    FLAG_RST = 0x04
+    FLAG_PSH = 0x08
+    FLAG_ACK = 0x10
+
+    def pack(self, payload: bytes = b"", src_ip: int = 0, dst_ip: int = 0) -> bytes:
+        offset_flags = (5 << 12) | (self.flags & 0x3F)
+        header = struct.pack(
+            "!HHIIHHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq,
+            self.ack,
+            offset_flags,
+            self.window,
+            0,
+            0,
+        )
+        length = self.LENGTH + len(payload)
+        pseudo = struct.pack("!IIBBH", src_ip, dst_ip, 0, PROTO_TCP, length)
+        checksum = internet_checksum(pseudo + header + payload)
+        return header[:16] + struct.pack("!H", checksum) + header[18:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["TCPHeader", bytes]:
+        if len(data) < cls.LENGTH:
+            raise ValueError("truncated TCP header")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            offset_flags,
+            window,
+            _checksum,
+            _urgent,
+        ) = struct.unpack("!HHIIHHHH", data[:20])
+        offset = (offset_flags >> 12) * 4
+        header = cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=offset_flags & 0x3F,
+            window=window,
+        )
+        return header, data[offset:]

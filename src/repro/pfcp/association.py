@@ -1,0 +1,218 @@
+"""PFCP association and heartbeat management (TS 29.244 §6.2).
+
+Before any session can be established on N4, the SMF (CP function) and
+UPF (UP function) form an *association*: an AssociationSetupRequest /
+Response exchange carrying node ids and recovery timestamps.  Both
+sides then exchange heartbeats; a peer that misses enough heartbeats is
+declared down, and — per the 3GPP restoration rules the paper contrasts
+with (§2.3 challenge 4) — all sessions of a failed peer are considered
+lost unless a resiliency layer (ours: §3.5) preserves them.
+
+The recovery timestamp doubles as a restart detector: a peer that comes
+back with a *newer* timestamp has lost its state, and the association
+must be re-established.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Dict, List, Optional
+
+from ..sim.engine import MS, Environment
+from .ies import CauseIE, NodeIdIE, CAUSE_ACCEPTED, CAUSE_REQUEST_REJECTED
+from .messages import (
+    AssociationSetupRequest,
+    AssociationSetupResponse,
+    HeartbeatRequest,
+    HeartbeatResponse,
+)
+
+__all__ = ["AssociationState", "Association", "AssociationManager"]
+
+
+class AssociationState(Enum):
+    """Lifecycle of one N4 association."""
+
+    IDLE = "idle"
+    SETUP_PENDING = "setup-pending"
+    ESTABLISHED = "established"
+    DOWN = "down"
+
+
+@dataclass
+class Association:
+    """One CP<->UP peering."""
+
+    peer_address: int
+    state: AssociationState = AssociationState.IDLE
+    peer_recovery_timestamp: int = 0
+    established_at: Optional[float] = None
+    heartbeats_sent: int = 0
+    heartbeats_received: int = 0
+    missed_heartbeats: int = 0
+
+
+class AssociationManager:
+    """Runs association setup and heartbeats for one node.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    node_address:
+        This node's N4 IPv4 address (integer).
+    recovery_timestamp:
+        Monotonic boot counter; bump it to model a restart.
+    send:
+        Transport callable ``send(peer_address, message)`` returning an
+        event that fires with the peer's response (or ``None`` when the
+        peer is unreachable).
+    heartbeat_interval / miss_threshold:
+        Heartbeat cadence; ``miss_threshold`` consecutive silent
+        heartbeats mark the association DOWN.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        node_address: int,
+        recovery_timestamp: int = 1,
+        send: Optional[Callable] = None,
+        heartbeat_interval: float = 100 * MS,
+        miss_threshold: int = 3,
+    ):
+        if miss_threshold <= 0:
+            raise ValueError("miss_threshold must be positive")
+        self.env = env
+        self.node_address = node_address
+        self.recovery_timestamp = recovery_timestamp
+        self.send = send or (lambda peer, message: None)
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_threshold = miss_threshold
+        self.associations: Dict[int, Association] = {}
+        self._sequence = itertools.count(1)
+        #: Called with (association) when a peer is declared down.
+        self.peer_down_listeners: List[Callable[[Association], None]] = []
+        #: Called with (association) when a peer restart is detected
+        #: (newer recovery timestamp).
+        self.peer_restart_listeners: List[Callable[[Association], None]] = []
+
+    # ------------------------------------------------------------------
+    # Responder side
+    # ------------------------------------------------------------------
+    def handle_setup_request(
+        self, message: AssociationSetupRequest
+    ) -> AssociationSetupResponse:
+        """UP-function side: accept (or refuse) an association."""
+        node_id = message.find(NodeIdIE)
+        if node_id is None:
+            return AssociationSetupResponse(
+                sequence=message.sequence,
+                ies=[CauseIE(cause=CAUSE_REQUEST_REJECTED)],
+            )
+        association = self.associations.get(node_id.address)
+        if association is None:
+            association = Association(peer_address=node_id.address)
+            self.associations[node_id.address] = association
+        association.state = AssociationState.ESTABLISHED
+        association.established_at = self.env.now
+        return AssociationSetupResponse(
+            sequence=message.sequence,
+            ies=[
+                CauseIE(cause=CAUSE_ACCEPTED),
+                NodeIdIE(address=self.node_address),
+            ],
+        )
+
+    def handle_heartbeat(self, message: HeartbeatRequest) -> HeartbeatResponse:
+        return HeartbeatResponse(sequence=message.sequence)
+
+    # ------------------------------------------------------------------
+    # Initiator side
+    # ------------------------------------------------------------------
+    def establish(self, peer_address: int):
+        """Association setup towards a peer (a DES generator).
+
+        Returns the :class:`Association` (state ESTABLISHED or DOWN).
+        """
+        association = self.associations.get(peer_address)
+        if association is None:
+            association = Association(peer_address=peer_address)
+            self.associations[peer_address] = association
+        association.state = AssociationState.SETUP_PENDING
+        request = AssociationSetupRequest(
+            sequence=next(self._sequence),
+            ies=[NodeIdIE(address=self.node_address)],
+        )
+        response = yield self.send(peer_address, request)
+        if response is None or not isinstance(
+            response, AssociationSetupResponse
+        ):
+            association.state = AssociationState.DOWN
+            return association
+        cause = response.find(CauseIE)
+        if cause is None or not cause.accepted:
+            association.state = AssociationState.DOWN
+            return association
+        association.state = AssociationState.ESTABLISHED
+        association.established_at = self.env.now
+        return association
+
+    def start_heartbeats(self, peer_address: int) -> None:
+        """Begin the periodic heartbeat process towards a peer."""
+        self.env.process(self._heartbeat_loop(peer_address))
+
+    def _heartbeat_loop(self, peer_address: int):
+        association = self.associations[peer_address]
+        while association.state is AssociationState.ESTABLISHED:
+            yield self.env.timeout(self.heartbeat_interval)
+            if association.state is not AssociationState.ESTABLISHED:
+                return
+            request = HeartbeatRequest(sequence=next(self._sequence))
+            association.heartbeats_sent += 1
+            response = yield self.send(peer_address, request)
+            if isinstance(response, HeartbeatResponse):
+                association.heartbeats_received += 1
+                association.missed_heartbeats = 0
+            else:
+                association.missed_heartbeats += 1
+                if association.missed_heartbeats >= self.miss_threshold:
+                    association.state = AssociationState.DOWN
+                    for listener in self.peer_down_listeners:
+                        listener(association)
+                    return
+
+    # ------------------------------------------------------------------
+    def observe_recovery_timestamp(
+        self, peer_address: int, timestamp: int
+    ) -> bool:
+        """Check a peer's recovery timestamp; True if it restarted.
+
+        A newer timestamp means the peer rebooted and lost its state —
+        3GPP restoration would force a re-attach of every UE; L25GC's
+        replicas avoid that (§3.5).
+        """
+        association = self.associations.get(peer_address)
+        if association is None:
+            return False
+        restarted = (
+            association.peer_recovery_timestamp != 0
+            and timestamp > association.peer_recovery_timestamp
+        )
+        association.peer_recovery_timestamp = max(
+            association.peer_recovery_timestamp, timestamp
+        )
+        if restarted:
+            association.state = AssociationState.DOWN
+            for listener in self.peer_restart_listeners:
+                listener(association)
+        return restarted
+
+    def is_established(self, peer_address: int) -> bool:
+        association = self.associations.get(peer_address)
+        return (
+            association is not None
+            and association.state is AssociationState.ESTABLISHED
+        )

@@ -1,0 +1,254 @@
+"""NGAP and NAS message types for the N1/N2 interfaces.
+
+The paper's evaluation uses a custom UE & RAN simulator speaking NGAP
+over SCTP to the AMF (§5.1.1); we model the same message vocabulary.
+Message classes are lightweight dataclasses — on N1/N2 the transport
+cost is identical for free5GC and L25GC (both terminate SCTP at the
+AMF), so no byte codec is needed, only message identity and sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+__all__ = [
+    "NGAPMessage",
+    "InitialUEMessage",
+    "DownlinkNASTransport",
+    "UplinkNASTransport",
+    "InitialContextSetupRequest",
+    "InitialContextSetupResponse",
+    "PDUSessionResourceSetupRequest",
+    "PDUSessionResourceSetupResponse",
+    "HandoverRequired",
+    "HandoverRequest",
+    "HandoverRequestAcknowledge",
+    "HandoverCommand",
+    "HandoverNotify",
+    "PathSwitchRequest",
+    "PagingMessage",
+    "UEContextReleaseCommand",
+    "UEContextReleaseComplete",
+    # NAS payloads
+    "NASMessage",
+    "RegistrationRequest",
+    "AuthenticationRequest",
+    "AuthenticationResponse",
+    "SecurityModeCommand",
+    "SecurityModeComplete",
+    "RegistrationAccept",
+    "RegistrationComplete",
+    "PDUSessionEstablishmentRequest",
+    "PDUSessionEstablishmentAccept",
+    "ServiceRequest",
+    "ServiceAccept",
+]
+
+
+@dataclass
+class NGAPMessage:
+    """Base NGAP message (N2)."""
+
+    ran_ue_ngap_id: int = 1
+    amf_ue_ngap_id: int = 1
+    size: int = 256
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+@dataclass
+class NASMessage:
+    """Base NAS message (N1, carried inside NGAP transports)."""
+
+    supi: str = "imsi-208930000000003"
+    size: int = 128
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+# --------------------------------------------------------------------------
+# NGAP procedures
+# --------------------------------------------------------------------------
+@dataclass
+class InitialUEMessage(NGAPMessage):
+    """gNB -> AMF: first uplink NAS message of a UE."""
+
+    nas: Optional[NASMessage] = None
+
+
+@dataclass
+class DownlinkNASTransport(NGAPMessage):
+    nas: Optional[NASMessage] = None
+
+
+@dataclass
+class UplinkNASTransport(NGAPMessage):
+    nas: Optional[NASMessage] = None
+
+
+@dataclass
+class InitialContextSetupRequest(NGAPMessage):
+    security_key: str = "00" * 32
+    nas: Optional[NASMessage] = None
+
+
+@dataclass
+class InitialContextSetupResponse(NGAPMessage):
+    pass
+
+
+@dataclass
+class PDUSessionResourceSetupRequest(NGAPMessage):
+    pdu_session_id: int = 1
+    ul_teid: int = 0
+    upf_address: int = 0
+    qfi: int = 9
+    nas: Optional[NASMessage] = None
+
+
+@dataclass
+class PDUSessionResourceSetupResponse(NGAPMessage):
+    pdu_session_id: int = 1
+    dl_teid: int = 0
+    gnb_address: int = 0
+
+
+@dataclass
+class HandoverRequired(NGAPMessage):
+    """Source gNB -> AMF: UE measured a better target cell."""
+
+    target_gnb_id: int = 2
+    cause: str = "handover-desirable-for-radio-reason"
+    pdu_session_ids: tuple = (1,)
+
+
+@dataclass
+class HandoverRequest(NGAPMessage):
+    """AMF -> target gNB: prepare resources."""
+
+    pdu_session_id: int = 1
+    ul_teid: int = 0
+    upf_address: int = 0
+
+
+@dataclass
+class HandoverRequestAcknowledge(NGAPMessage):
+    """Target gNB -> AMF: resources ready; new DL endpoint."""
+
+    pdu_session_id: int = 1
+    dl_teid: int = 0
+    gnb_address: int = 0
+
+
+@dataclass
+class HandoverCommand(NGAPMessage):
+    """AMF -> source gNB -> UE: execute the handover."""
+
+    target_gnb_id: int = 2
+
+
+@dataclass
+class HandoverNotify(NGAPMessage):
+    """Target gNB -> AMF: the UE has arrived."""
+
+    pass
+
+
+@dataclass
+class PathSwitchRequest(NGAPMessage):
+    """Target gNB -> AMF (Xn handover variant)."""
+
+    dl_teid: int = 0
+    gnb_address: int = 0
+
+
+@dataclass
+class PagingMessage(NGAPMessage):
+    """AMF -> gNB(s): page an idle UE."""
+
+    supi: str = "imsi-208930000000003"
+    tac: int = 1
+
+
+@dataclass
+class UEContextReleaseCommand(NGAPMessage):
+    cause: str = "user-inactivity"
+
+
+@dataclass
+class UEContextReleaseComplete(NGAPMessage):
+    pass
+
+
+# --------------------------------------------------------------------------
+# NAS messages (5GMM / 5GSM)
+# --------------------------------------------------------------------------
+@dataclass
+class RegistrationRequest(NASMessage):
+    registration_type: str = "initial"
+    suci: str = "suci-0-208-93-0000-0-0-0000000003"
+    requested_nssai: Dict[str, Any] = field(
+        default_factory=lambda: {"sst": 1, "sd": "010203"}
+    )
+
+
+@dataclass
+class AuthenticationRequest(NASMessage):
+    rand: str = "a2e1f8d90b4c6e1735fa0d2246c8b9e1"
+    autn: str = "bb2c61d3f8e0800032f9c04dd7b8a1c5"
+
+
+@dataclass
+class AuthenticationResponse(NASMessage):
+    res_star: str = "d1e2f3a4b5c6d7e8f90a1b2c3d4e5f60"
+
+
+@dataclass
+class SecurityModeCommand(NASMessage):
+    ciphering: str = "NEA2"
+    integrity: str = "NIA2"
+
+
+@dataclass
+class SecurityModeComplete(NASMessage):
+    pass
+
+
+@dataclass
+class RegistrationAccept(NASMessage):
+    guti: str = "5g-guti-20893cafe0000000001"
+    tai_list: tuple = ((208, 93, 1),)
+
+
+@dataclass
+class RegistrationComplete(NASMessage):
+    pass
+
+
+@dataclass
+class PDUSessionEstablishmentRequest(NASMessage):
+    pdu_session_id: int = 1
+    dnn: str = "internet"
+    pdu_type: str = "IPV4"
+
+
+@dataclass
+class PDUSessionEstablishmentAccept(NASMessage):
+    pdu_session_id: int = 1
+    ue_ip: str = "10.60.0.1"
+    qos_rules: tuple = ((1, 9),)
+
+
+@dataclass
+class ServiceRequest(NASMessage):
+    service_type: str = "mobile-terminated-services"
+
+
+@dataclass
+class ServiceAccept(NASMessage):
+    pass

@@ -1,0 +1,123 @@
+"""The User Equipment model: 5GMM/5GSM state machines.
+
+Tracks the 3GPP registration-management (RM) and connection-management
+(CM) states, the serving gNB, allocated PDU sessions, and counts of
+delivered/missed packets.  The UE is deliberately thin — procedures are
+orchestrated by :mod:`repro.cp.procedures`; the UE provides state and
+sanity checking (e.g. you cannot hand over a deregistered UE).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..net.packet import Packet
+
+__all__ = ["RMState", "CMState", "PDUSession", "UserEquipment"]
+
+
+class RMState(Enum):
+    """Registration management (TS 24.501 §5.1.2)."""
+
+    DEREGISTERED = "RM-DEREGISTERED"
+    REGISTERED = "RM-REGISTERED"
+
+
+class CMState(Enum):
+    """Connection management (TS 24.501 §5.1.3)."""
+
+    IDLE = "CM-IDLE"
+    CONNECTED = "CM-CONNECTED"
+
+
+@dataclass
+class PDUSession:
+    """One PDU session as seen by the UE."""
+
+    session_id: int
+    dnn: str = "internet"
+    ue_ip: int = 0
+    qfi: int = 9
+    active: bool = True
+
+
+class StateError(RuntimeError):
+    """An operation was attempted in the wrong RM/CM state."""
+
+
+class UserEquipment:
+    """A simulated UE.
+
+    Parameters
+    ----------
+    supi:
+        Subscription permanent identifier (``imsi-...``).
+    """
+
+    def __init__(self, supi: str = "imsi-208930000000003"):
+        self.supi = supi
+        self.rm_state = RMState.DEREGISTERED
+        self.cm_state = CMState.IDLE
+        self.serving_gnb_id: Optional[int] = None
+        self.guti: Optional[str] = None
+        self.sessions: Dict[int, PDUSession] = {}
+        self.received: List[Packet] = []
+        self.sent = 0
+
+    # -- registration ----------------------------------------------------
+    def register(self, gnb_id: int, guti: str) -> None:
+        self.rm_state = RMState.REGISTERED
+        self.cm_state = CMState.CONNECTED
+        self.serving_gnb_id = gnb_id
+        self.guti = guti
+
+    def deregister(self) -> None:
+        self.rm_state = RMState.DEREGISTERED
+        self.cm_state = CMState.IDLE
+        self.serving_gnb_id = None
+        self.sessions.clear()
+
+    # -- connection management ---------------------------------------------
+    def go_idle(self) -> None:
+        """AN release: UE sleeps to save battery (paging precondition)."""
+        if self.rm_state is not RMState.REGISTERED:
+            raise StateError(f"{self.supi}: cannot go idle while deregistered")
+        self.cm_state = CMState.IDLE
+
+    def wake(self) -> None:
+        """Service request completion: back to CM-CONNECTED."""
+        if self.rm_state is not RMState.REGISTERED:
+            raise StateError(f"{self.supi}: cannot wake while deregistered")
+        self.cm_state = CMState.CONNECTED
+
+    def hand_over(self, target_gnb_id: int) -> None:
+        if self.rm_state is not RMState.REGISTERED:
+            raise StateError(f"{self.supi}: cannot hand over unregistered UE")
+        self.serving_gnb_id = target_gnb_id
+
+    # -- sessions ---------------------------------------------------------
+    def add_session(self, session: PDUSession) -> None:
+        if self.rm_state is not RMState.REGISTERED:
+            raise StateError(
+                f"{self.supi}: PDU session requires RM-REGISTERED"
+            )
+        self.sessions[session.session_id] = session
+
+    def session(self, session_id: int) -> PDUSession:
+        if session_id not in self.sessions:
+            raise KeyError(f"{self.supi}: no PDU session {session_id}")
+        return self.sessions[session_id]
+
+    # -- data -------------------------------------------------------------
+    def deliver(self, packet: Packet, now: float) -> None:
+        """Record a downlink packet reaching the UE."""
+        packet.delivered_at = now
+        self.received.append(packet)
+
+    def __repr__(self) -> str:
+        return (
+            f"UE({self.supi}, {self.rm_state.value}/{self.cm_state.value}, "
+            f"gnb={self.serving_gnb_id}, sessions={len(self.sessions)})"
+        )

@@ -1,0 +1,23 @@
+"""Failure resiliency: replication, packet logging, detection, failover."""
+
+from .bfd import ProbeAgent, ProbeTarget
+from .checkpoint import CheckpointStore, StateDelta, apply_delta, compute_delta
+from .failover import FailoverReport, ResiliencyFramework, reattach_time
+from .logger import LoggedPacket, PacketLogger
+from .replica import LocalReplica, RemoteReplica
+
+__all__ = [
+    "ProbeAgent",
+    "ProbeTarget",
+    "CheckpointStore",
+    "StateDelta",
+    "apply_delta",
+    "compute_delta",
+    "FailoverReport",
+    "ResiliencyFramework",
+    "reattach_time",
+    "LoggedPacket",
+    "PacketLogger",
+    "LocalReplica",
+    "RemoteReplica",
+]

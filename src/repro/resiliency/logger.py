@@ -1,0 +1,142 @@
+"""The load balancer's counter + packet logger (§3.5.1).
+
+Every message entering the 5GC through the LB is stamped with a
+monotonically increasing counter and a copy is kept in the
+PacketLogger.  The logger is split into **four queues** — UL-control,
+UL-data, DL-control, DL-data — so control packets survive even if a
+data flood overflows the buffer.  On failover the replica replays from
+the queue heads in counter order, reconstructing state updates lost
+since the last checkpoint *and* recovering in-flight data packets
+(which Neutrino does not).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..net.packet import Direction, PacketKind
+
+__all__ = ["LoggedPacket", "PacketLogger"]
+
+
+@dataclass
+class LoggedPacket:
+    """One logged message with its LB counter stamp."""
+
+    counter: int
+    direction: Direction
+    kind: PacketKind
+    payload: Any
+
+
+class PacketLogger:
+    """Counter stamping plus the four bounded replay queues.
+
+    Parameters
+    ----------
+    data_capacity:
+        Per-queue capacity for the two data queues (tail drop).
+    control_capacity:
+        Per-queue capacity for the two control queues; sized larger
+        relative to their traffic so control is never lost to a data
+        burst.
+    """
+
+    QUEUES: Tuple[Tuple[Direction, PacketKind], ...] = (
+        (Direction.UPLINK, PacketKind.CONTROL),
+        (Direction.UPLINK, PacketKind.DATA),
+        (Direction.DOWNLINK, PacketKind.CONTROL),
+        (Direction.DOWNLINK, PacketKind.DATA),
+    )
+
+    def __init__(self, data_capacity: int = 4096, control_capacity: int = 4096):
+        self._counter = itertools.count(1)
+        self._queues: Dict[Tuple[Direction, PacketKind], List[LoggedPacket]] = {
+            key: [] for key in self.QUEUES
+        }
+        self._capacities = {
+            key: control_capacity if key[1] is PacketKind.CONTROL else data_capacity
+            for key in self.QUEUES
+        }
+        self.logged = 0
+        self.dropped = 0
+        self.released = 0
+        #: Highest counter acknowledged by the remote replica.
+        self.acked_counter = 0
+
+    # ------------------------------------------------------------------
+    def stamp(
+        self, payload: Any, direction: Direction, kind: PacketKind
+    ) -> int:
+        """Stamp a message with the next counter and log a copy.
+
+        Returns the counter value.  Overflowing a *data* queue drops
+        the oldest data entry; control queues are protected by their
+        own capacity, so a data flood cannot evict control packets.
+        """
+        counter = next(self._counter)
+        queue = self._queues[(direction, kind)]
+        if len(queue) >= self._capacities[(direction, kind)]:
+            queue.pop(0)
+            self.dropped += 1
+        queue.append(
+            LoggedPacket(
+                counter=counter, direction=direction, kind=kind, payload=payload
+            )
+        )
+        self.logged += 1
+        return counter
+
+    def __len__(self) -> int:
+        return sum(len(queue) for queue in self._queues.values())
+
+    def queue_depth(self, direction: Direction, kind: PacketKind) -> int:
+        return len(self._queues[(direction, kind)])
+
+    # ------------------------------------------------------------------
+    def release_through(self, counter: int) -> int:
+        """Drop logged entries with counter <= ``counter``.
+
+        Called when the primary confirms the remote replica has
+        synchronized state through that counter (step 3 of §3.5.1).
+        """
+        removed = 0
+        for queue in self._queues.values():
+            keep = [entry for entry in queue if entry.counter > counter]
+            removed += len(queue) - len(keep)
+            queue[:] = keep
+        self.released += removed
+        self.acked_counter = max(self.acked_counter, counter)
+        return removed
+
+    # ------------------------------------------------------------------
+    def replay_order(self, after_counter: int = 0) -> List[LoggedPacket]:
+        """All logged entries newer than ``after_counter`` in counter
+        order, merged across the four queues.
+
+        This is the replica's replay stream: repeatedly pick the queue
+        whose head has the lowest counter, preserving the original
+        processing order.
+        """
+        heads = {key: 0 for key in self.QUEUES}
+        merged: List[LoggedPacket] = []
+        while True:
+            best_key: Optional[Tuple[Direction, PacketKind]] = None
+            best_counter = None
+            for key in self.QUEUES:
+                queue = self._queues[key]
+                index = heads[key]
+                while index < len(queue) and queue[index].counter <= after_counter:
+                    index += 1
+                heads[key] = index
+                if index < len(queue):
+                    counter = queue[index].counter
+                    if best_counter is None or counter < best_counter:
+                        best_counter = counter
+                        best_key = key
+            if best_key is None:
+                return merged
+            merged.append(self._queues[best_key][heads[best_key]])
+            heads[best_key] += 1

@@ -1,0 +1,42 @@
+"""Discrete-event simulation substrate for the L25GC reproduction.
+
+The public surface:
+
+* :class:`~repro.sim.engine.Environment` — clock + event heap.
+* :data:`~repro.sim.engine.US` / :data:`~repro.sim.engine.MS` — time units.
+* :class:`~repro.sim.queues.Store` and friends — waitable queues.
+* :class:`~repro.sim.rng.StreamRNG` — reproducible named random streams.
+"""
+
+from .engine import (
+    MS,
+    US,
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .queues import PriorityStore, QueueFullError, Resource, Store
+from .rng import StreamRNG
+
+__all__ = [
+    "MS",
+    "US",
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "PriorityStore",
+    "QueueFullError",
+    "Resource",
+    "Store",
+    "StreamRNG",
+]

@@ -1,0 +1,384 @@
+"""Discrete-event simulation engine.
+
+A small, dependency-free event simulator in the style of SimPy: an
+:class:`Environment` owns a simulated clock and an event heap; *processes*
+are Python generators that yield :class:`Event` objects and are resumed
+when those events fire.
+
+The engine is deterministic: events scheduled for the same simulated time
+fire in FIFO order of scheduling (a monotonically increasing sequence
+number breaks ties), so simulation runs are exactly reproducible given the
+same seed for any randomness injected by the model.
+
+Time is measured in **seconds** as a float.  The module exposes the
+convenience constants :data:`US` and :data:`MS` so models can write
+``env.timeout(25 * US)``.
+
+Example
+-------
+>>> env = Environment()
+>>> log = []
+>>> def proc(env):
+...     yield env.timeout(1.5)
+...     log.append(env.now)
+>>> _ = env.process(proc(env))
+>>> env.run()
+>>> log
+[1.5]
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+#: One microsecond, in simulation seconds.
+US = 1e-6
+#: One millisecond, in simulation seconds.
+MS = 1e-3
+
+__all__ = [
+    "US",
+    "MS",
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for invalid uses of the simulation API."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*; it becomes *triggered* when
+    :meth:`succeed` or :meth:`fail` is called (or, for a
+    :class:`Timeout`, when its delay is scheduled at construction).  Once
+    the environment pops it from the heap it is *processed* and its
+    callbacks run.
+    """
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._ok: Optional[bool] = None
+        self._scheduled = False
+        self._defused = False
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (success or failure)."""
+        return self._ok is not None
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception, if it failed)."""
+        if self._ok is None:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule its callbacks.
+
+        ``delay`` postpones the callbacks by the given simulated time.
+        """
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiting processes see the exception."""
+        if self._ok is not None:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, delay)
+        return self
+
+    def defused(self) -> "Event":
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+        return self
+
+    # -- composition -----------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it returns."""
+
+    def __init__(self, env: "Environment", generator: Generator):
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        # Kick-start on the next tick.
+        init = Event(env)
+        init._ok = True
+        init.callbacks.append(self._resume)
+        env._schedule(init, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._ok is None
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if (
+            self._target is not None
+            and self._target.callbacks is not None
+            and self._resume in self._target.callbacks
+        ):
+            self._target.callbacks.remove(self._resume)
+        self._target = None
+        kick = Event(self.env)
+        kick._ok = False
+        kick._value = Interrupt(cause)
+        kick._defused = True
+        kick.callbacks.append(self._resume)
+        self.env._schedule(kick, 0.0)
+
+    # -- internal --------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active_process = self
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.env._active_process = None
+            self.succeed(stop.value)
+            return
+        except Interrupt as exc:
+            # An unhandled interrupt terminates the process with a failure.
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        except BaseException as exc:  # model bug: propagate as failure
+            self.env._active_process = None
+            self.fail(exc)
+            return
+        self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded a non-event: {target!r}; yield env.timeout(...)"
+            )
+        self._target = target
+        if target.processed:
+            # Already fired: resume on the next scheduling tick.
+            kick = Event(self.env)
+            kick._ok = target._ok
+            kick._value = target._value
+            if not target._ok:
+                kick._defused = True
+                target._defused = True
+            kick.callbacks.append(self._resume)
+            self.env._schedule(kick, 0.0)
+        else:
+            if not target._ok:
+                target._defused = True
+            target.callbacks.append(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        self._remaining = len(self._events)
+        if not self._events:
+            self.succeed({})
+            return
+        for ev in self._events:
+            if ev.processed:
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+
+    def _collect(self) -> dict:
+        return {
+            ev: ev._value
+            for ev in self._events
+            if ev.triggered and ev._ok
+        }
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when every component event has fired."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any component event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Environment:
+    """The simulation world: clock plus event heap.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of the simulated clock, in seconds.
+    """
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: List[tuple] = []
+        self._counter = itertools.count()
+        self._active_process: Optional[Process] = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event construction ----------------------------------------------
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator) -> Process:
+        """Start a new process from a generator."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that fires when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling / execution -------------------------------------------
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        if event._scheduled:
+            raise SimulationError("event scheduled twice")
+        event._scheduled = True
+        heapq.heappush(self._heap, (self._now + delay, next(self._counter), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("no scheduled events")
+        when, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or the clock reaches ``until``.
+
+        When ``until`` is given the clock is advanced to exactly that
+        time even if no event is scheduled there.
+        """
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"run(until={until}) is in the past (now={self._now})"
+            )
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                break
+            self.step()
+        if until is not None:
+            self._now = max(self._now, until)

@@ -1,0 +1,26 @@
+"""TCP dynamics and the page-load-time model."""
+
+from .tcp import (
+    MIN_RTO,
+    MSS,
+    Interruption,
+    InterruptionKind,
+    PathModel,
+    TCPConnection,
+    TCPStats,
+)
+from .web import PageLoad, PageLoadResult, Resource, default_page
+
+__all__ = [
+    "MIN_RTO",
+    "MSS",
+    "Interruption",
+    "InterruptionKind",
+    "PathModel",
+    "TCPConnection",
+    "TCPStats",
+    "PageLoad",
+    "PageLoadResult",
+    "Resource",
+    "default_page",
+]

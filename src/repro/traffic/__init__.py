@@ -1,0 +1,12 @@
+"""Traffic generation and measurement (the MoonGen/Wireshark stand-ins)."""
+
+from .generator import ConstantRateGenerator
+from .measurement import LatencySeries, Summary, percentile, summarize
+
+__all__ = [
+    "ConstantRateGenerator",
+    "LatencySeries",
+    "Summary",
+    "percentile",
+    "summarize",
+]

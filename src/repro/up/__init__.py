@@ -1,0 +1,27 @@
+"""User plane: PDR/FAR state, session tables, smart buffer, UPF-C/UPF-U."""
+
+from .buffer import DEFAULT_UPF_BUFFER_PACKETS, SmartBuffer
+from .qos import QerEnforcer, TokenBucket, UsageCounter
+from .rules import FAR, FARAction, PDR, QER, far_from_ie, pdr_from_create_ie
+from .session import SessionTable, UPFSession
+from .upf_c import UPFControlPlane
+from .upf_u import ForwardingStats, UPFUserPlane
+
+__all__ = [
+    "DEFAULT_UPF_BUFFER_PACKETS",
+    "QerEnforcer",
+    "TokenBucket",
+    "UsageCounter",
+    "SmartBuffer",
+    "FAR",
+    "FARAction",
+    "PDR",
+    "QER",
+    "far_from_ie",
+    "pdr_from_create_ie",
+    "SessionTable",
+    "UPFSession",
+    "UPFControlPlane",
+    "ForwardingStats",
+    "UPFUserPlane",
+]

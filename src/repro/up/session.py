@@ -1,0 +1,201 @@
+"""UPF session contexts and the dual-keyed session table.
+
+§3.2: "Using shared Hugepages, we maintain two hash tables for storing
+the pointer to a user session context.  The keys for these two tables
+are TEID and UE IP to differentiate UL and DL traffic respectively.
+Each user session context stores a number of different rule sets in
+shared memory, e.g., PDRs and FARs."
+
+The session context owns its PDR classifier (pluggable: linear / TSS /
+PartitionSort) and the smart buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Type
+
+from ..classifier.base import Classifier
+from ..classifier.partition_sort import PartitionSortClassifier
+from ..net.packet import Direction, Packet
+from ..pfcp import ies as pfcp_ies
+from .buffer import DEFAULT_UPF_BUFFER_PACKETS, SmartBuffer
+from .qos import QerEnforcer, UsageCounter
+from .rules import FAR, PDR, QER
+
+__all__ = ["UPFSession", "SessionTable"]
+
+
+class UPFSession:
+    """One PDU session's user-plane state.
+
+    Parameters
+    ----------
+    seid:
+        PFCP session endpoint id.
+    ue_ip:
+        The UE's allocated IPv4 (integer) — the DL hash key.
+    ul_teid:
+        Uplink tunnel endpoint at the UPF — the UL hash key.
+    classifier_class:
+        Which PDR lookup structure this session uses (PDR-PS in
+        L25GC, PDR-LL in the 3GPP baseline).
+    """
+
+    def __init__(
+        self,
+        seid: int,
+        ue_ip: int,
+        ul_teid: int,
+        classifier_class: Type[Classifier] = PartitionSortClassifier,
+        buffer_capacity: int = DEFAULT_UPF_BUFFER_PACKETS,
+    ):
+        self.seid = seid
+        self.ue_ip = ue_ip
+        self.ul_teid = ul_teid
+        self.pdrs: Dict[int, PDR] = {}
+        self.fars: Dict[int, FAR] = {}
+        self.qers: Dict[int, QER] = {}
+        #: Installed QoS enforcers (gate + MBR policer), by QER id.
+        self.qer_enforcers: Dict[int, "QerEnforcer"] = {}
+        #: Installed usage counters, by URR id.
+        self.usage_counters: Dict[int, "UsageCounter"] = {}
+        self.classifier: Classifier = classifier_class()
+        self.buffer = SmartBuffer(buffer_capacity)
+        #: Set while the CP has been notified of buffered DL data and
+        #: paging is in flight (suppresses duplicate reports).
+        self.report_pending = False
+
+    # -- rule management ----------------------------------------------------
+    def install_pdr(self, pdr: PDR) -> None:
+        """Install or replace a PDR (and its classifier rule)."""
+        existing = self.pdrs.get(pdr.pdr_id)
+        if existing is not None:
+            self.classifier.remove(existing.match)
+        self.pdrs[pdr.pdr_id] = pdr
+        self.classifier.insert(pdr.match)
+
+    def remove_pdr(self, pdr_id: int) -> bool:
+        pdr = self.pdrs.pop(pdr_id, None)
+        if pdr is None:
+            return False
+        self.classifier.remove(pdr.match)
+        return True
+
+    def install_far(self, far: FAR) -> None:
+        self.fars[far.far_id] = far
+
+    def update_far(self, far: FAR) -> None:
+        """Merge an Update FAR into the existing rule.
+
+        PFCP updates are partial: an update without forwarding
+        parameters keeps the previous outer header (that is how the
+        paging re-activation retains the gNB endpoint).
+        """
+        existing = self.fars.get(far.far_id)
+        if existing is None:
+            self.fars[far.far_id] = far
+            return
+        action = existing.action
+        new = far.action
+        action.forward = new.forward
+        action.buffer = new.buffer
+        action.drop = new.drop
+        action.notify_cp = new.notify_cp
+        if new.outer_teid is not None:
+            action.outer_teid = new.outer_teid
+            action.outer_address = new.outer_address
+            action.destination_interface = new.destination_interface
+
+    def install_qer(self, qer: QER) -> None:
+        self.qers[qer.qer_id] = qer
+
+    def install_qer_enforcer(self, enforcer: "QerEnforcer") -> None:
+        self.qer_enforcers[enforcer.qer_id] = enforcer
+
+    def install_usage_counter(self, counter: "UsageCounter") -> None:
+        self.usage_counters[counter.urr_id] = counter
+
+    # -- lookup ---------------------------------------------------------------
+    def match_pdr(self, packet: Packet) -> Optional[PDR]:
+        """Classify a packet against this session's PDRs."""
+        key = self._packet_key(packet)
+        rule = self.classifier.lookup(key)
+        if rule is None:
+            return None
+        return self.pdrs.get(rule.rule_id)
+
+    def _packet_key(self, packet: Packet):
+        flow = packet.flow
+        source_iface = (
+            pfcp_ies.ACCESS
+            if packet.direction is Direction.UPLINK
+            else pfcp_ies.CORE
+        )
+        # Field order must mirror repro.classifier.rule.PDI_FIELDS.
+        return (
+            flow.src_ip,
+            flow.dst_ip,
+            flow.src_port,
+            flow.dst_port,
+            flow.protocol,
+            packet.tos,
+            packet.teid or 0,
+            packet.qfi or 0,
+            packet.meta.get("app_id", 0),
+            packet.meta.get("spi", 0),
+            packet.meta.get("flow_label", 0),
+            packet.meta.get("sdf_filter_id", 0),
+            source_iface,
+            packet.meta.get("pdu_type", 0),
+            packet.meta.get("network_instance", 0),
+            packet.tos >> 2,
+            packet.meta.get("session_id", 0),
+            packet.meta.get("slice_id", 0),
+            packet.meta.get("urr_id", 0),
+            packet.meta.get("outer_header", 0),
+        )
+
+
+class SessionTable:
+    """The UPF's dual hash tables: TEID -> session, UE IP -> session."""
+
+    def __init__(self) -> None:
+        self._by_teid: Dict[int, UPFSession] = {}
+        self._by_ue_ip: Dict[int, UPFSession] = {}
+        self._by_seid: Dict[int, UPFSession] = {}
+
+    def add(self, session: UPFSession) -> None:
+        if session.seid in self._by_seid:
+            raise ValueError(f"duplicate SEID {session.seid}")
+        if session.ul_teid in self._by_teid:
+            raise ValueError(f"duplicate UL TEID {session.ul_teid}")
+        if session.ue_ip in self._by_ue_ip:
+            raise ValueError(f"duplicate UE IP {session.ue_ip}")
+        self._by_seid[session.seid] = session
+        self._by_teid[session.ul_teid] = session
+        self._by_ue_ip[session.ue_ip] = session
+
+    def remove(self, seid: int) -> Optional[UPFSession]:
+        session = self._by_seid.pop(seid, None)
+        if session is None:
+            return None
+        self._by_teid.pop(session.ul_teid, None)
+        self._by_ue_ip.pop(session.ue_ip, None)
+        return session
+
+    def by_teid(self, teid: int) -> Optional[UPFSession]:
+        """UL lookup: which session owns this tunnel endpoint?"""
+        return self._by_teid.get(teid)
+
+    def by_ue_ip(self, ue_ip: int) -> Optional[UPFSession]:
+        """DL lookup: which session owns this UE address?"""
+        return self._by_ue_ip.get(ue_ip)
+
+    def by_seid(self, seid: int) -> Optional[UPFSession]:
+        return self._by_seid.get(seid)
+
+    def __len__(self) -> int:
+        return len(self._by_seid)
+
+    def sessions(self) -> List[UPFSession]:
+        return list(self._by_seid.values())

@@ -1,0 +1,317 @@
+"""UPF-U: the user-plane forwarding pipeline.
+
+The data-plane half of the factored UPF (§3.2).  For every packet it
+performs the session lookup (TEID for uplink, UE IP for downlink), the
+PDR classification, and the FAR action: forward (with GTP-U
+encapsulation towards the RAN or decapsulation towards the DN), buffer
+(paging / smart handover), or drop.  A FAR with NOCP raises a downlink
+data notification towards the UPF-C exactly once per buffering episode.
+
+The pipeline is usable in two ways:
+
+* *direct*: ``process(packet)`` — used by the throughput/latency
+  experiments, which account CPU time via the cost model;
+* *platform*: as a :class:`~repro.core.nf.NetworkFunction` on the NF
+  manager's rings, for end-to-end integration tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..core.costs import DEFAULT_COSTS, CostModel
+from ..core.nf import NetworkFunction
+from ..core.pool import Descriptor
+from ..net.packet import Direction, Packet
+from ..pfcp import ies as pfcp_ies
+from .rules import FAR, PDR
+from .session import SessionTable, UPFSession
+
+__all__ = ["ForwardingStats", "UPFUserPlane"]
+
+
+@dataclass
+class ForwardingStats:
+    """Counters the experiments read."""
+
+    forwarded_ul: int = 0
+    forwarded_dl: int = 0
+    buffered: int = 0
+    dropped_no_session: int = 0
+    dropped_no_pdr: int = 0
+    dropped_action: int = 0
+    dropped_buffer_full: int = 0
+    dropped_qos: int = 0
+    notifications: int = 0
+    usage_reports: int = 0
+
+    @property
+    def forwarded(self) -> int:
+        return self.forwarded_ul + self.forwarded_dl
+
+    @property
+    def dropped(self) -> int:
+        return (
+            self.dropped_no_session
+            + self.dropped_no_pdr
+            + self.dropped_action
+            + self.dropped_buffer_full
+            + self.dropped_qos
+        )
+
+
+class UPFUserPlane(NetworkFunction):
+    """The forwarding NF.
+
+    Parameters
+    ----------
+    sessions:
+        The shared session table (also visible to the UPF-C — that is
+        the zero-cost state update of §3.2).
+    uplink_sink:
+        Called with each decapsulated UL packet headed to the DN.
+    downlink_sink:
+        Called with ``(packet, teid, gnb_address)`` for each DL packet
+        after GTP-U encapsulation towards a gNB.
+    notify_cp:
+        Called with the session when a buffered DL packet requires a
+        downlink data report (paging trigger).
+    fast_path:
+        True for L25GC's DPDK pipeline, False for the kernel baseline —
+        selects the per-packet cost in :meth:`processing_time`.
+    """
+
+    #: Kernel skb backlog other active sessions pin in the shared
+    #: buffer memory when buffering is not session-scoped (free5GC).
+    #: With four 10 Kpps sessions this shrinks the 3K buffer below the
+    #: ~2 K packets a handover accumulates, reproducing Table 2's
+    #: expt-ii drops (43 in the paper, zero for L25GC).
+    SHARED_BACKLOG_PER_SESSION = 335
+
+    def __init__(
+        self,
+        env,
+        sessions: SessionTable,
+        service_id: int = 2,
+        name: str = "upf-u",
+        instance_id: int = 0,
+        uplink_sink: Optional[Callable[[Packet], None]] = None,
+        downlink_sink: Optional[Callable[[Packet, int, int], None]] = None,
+        notify_cp: Optional[Callable[[UPFSession], None]] = None,
+        fast_path: bool = True,
+        session_scoped_buffering: bool = True,
+        costs: CostModel = DEFAULT_COSTS,
+    ):
+        super().__init__(
+            env, name, service_id, instance_id=instance_id, costs=costs
+        )
+        self.sessions = sessions
+        self.uplink_sink = uplink_sink or (lambda packet: None)
+        self.downlink_sink = downlink_sink or (
+            lambda packet, teid, address: None
+        )
+        self.notify_cp = notify_cp or (lambda session: None)
+        #: Called with (session, usage counter) when a URR volume
+        #: threshold trips; the UPF-C turns it into a usage report.
+        self.usage_report_sink: Callable = lambda session, counter: None
+        self.fast_path = fast_path
+        #: L25GC buffers per session (§3.3); free5GC's buffering shares
+        #: memory with the per-session kernel backlog, so concurrent
+        #: sessions shrink the capacity available to a handover.
+        self.session_scoped_buffering = session_scoped_buffering
+        self.stats = ForwardingStats()
+        #: Absolute time each session's drain completes (serial
+        #: re-injection of buffered packets); packets arriving before
+        #: then queue behind the drain.
+        self._drain_until: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Direct API
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet) -> None:
+        """Run the full match-action pipeline on one packet."""
+        session = self._lookup_session(packet)
+        if session is None:
+            self.stats.dropped_no_session += 1
+            return
+        pdr = session.match_pdr(packet)
+        if pdr is None:
+            self.stats.dropped_no_pdr += 1
+            return
+        far = session.fars.get(pdr.far_id)
+        if far is None:
+            self.stats.dropped_no_pdr += 1
+            return
+        self._apply(packet, session, pdr, far)
+
+    def _lookup_session(self, packet: Packet) -> Optional[UPFSession]:
+        if packet.direction is Direction.UPLINK:
+            if packet.teid is None:
+                return None
+            return self.sessions.by_teid(packet.teid)
+        return self.sessions.by_ue_ip(packet.flow.dst_ip)
+
+    def _apply(
+        self, packet: Packet, session: UPFSession, pdr: PDR, far: FAR
+    ) -> None:
+        action = far.action
+        if action.drop:
+            self.stats.dropped_action += 1
+            return
+        # QoS enforcement (QER): gate + MBR token-bucket policing runs
+        # before any forwarding/buffering decision.
+        if pdr.qer_id is not None:
+            enforcer = session.qer_enforcers.get(pdr.qer_id)
+            if enforcer is not None and not enforcer.admit(
+                packet, self.env.now
+            ):
+                self.stats.dropped_qos += 1
+                return
+        # Usage metering (URR): count the packet; raise a usage report
+        # when the volume threshold trips.
+        if pdr.urr_id is not None:
+            counter = session.usage_counters.get(pdr.urr_id)
+            if counter is not None and counter.account(packet):
+                self.stats.usage_reports += 1
+                self.usage_report_sink(session, counter)
+        if action.buffer:
+            if len(session.buffer) >= self._effective_capacity(session):
+                session.buffer.dropped += 1
+                self.stats.dropped_buffer_full += 1
+            elif session.buffer.push(packet):
+                self.stats.buffered += 1
+            else:
+                self.stats.dropped_buffer_full += 1
+            if action.notify_cp and not session.report_pending:
+                session.report_pending = True
+                self.stats.notifications += 1
+                self.notify_cp(session)
+            return
+        if not action.forward:
+            self.stats.dropped_action += 1
+            return
+        self._forward(packet, pdr, far, session)
+
+    def _forward(
+        self,
+        packet: Packet,
+        pdr: PDR,
+        far: FAR,
+        session: Optional[UPFSession] = None,
+    ) -> None:
+        action = far.action
+        if action.destination_interface == pfcp_ies.ACCESS:
+            # Downlink: encapsulate towards the gNB.
+            if action.outer_teid is None or action.outer_address is None:
+                self.stats.dropped_action += 1
+                return
+            if session is not None and not self._admit_behind_drain(
+                packet, session
+            ):
+                return
+            packet.teid = action.outer_teid
+            self.stats.forwarded_dl += 1
+            self.downlink_sink(packet, action.outer_teid, action.outer_address)
+        else:
+            # Uplink: outer header already removed by the PDR; to DN.
+            if pdr.outer_header_removal:
+                packet.teid = None
+            self.stats.forwarded_ul += 1
+            self.uplink_sink(packet)
+
+    # ------------------------------------------------------------------
+    # Buffer release (invoked by the UPF-C on FAR transitions)
+    # ------------------------------------------------------------------
+    def _reinject_cost(self) -> float:
+        return self.costs.buffer_reinject(
+            self.fast_path, max(1, len(self.sessions))
+        )
+
+    def _effective_capacity(self, session: UPFSession) -> int:
+        """Buffer slots available to this session's drain queue.
+
+        Session-scoped buffering (L25GC) gets the full capacity; the
+        shared free5GC buffer loses a backlog share to every other
+        active session — the cross-session interference §3.3 calls out.
+        """
+        capacity = session.buffer.capacity
+        if self.session_scoped_buffering:
+            return capacity
+        others = max(0, len(self.sessions) - 1)
+        return max(0, capacity - others * self.SHARED_BACKLOG_PER_SESSION)
+
+    def _admit_behind_drain(
+        self, packet: Packet, session: UPFSession
+    ) -> bool:
+        """Queue a forwarded packet behind an in-progress drain.
+
+        Buffered packets re-inject serially; packets arriving before
+        the drain completes wait their turn (extending it).  Returns
+        False (and counts a drop) when the drain queue exceeds the
+        effective buffer capacity.
+        """
+        drain_until = self._drain_until.get(session.seid)
+        now = self.env.now
+        if drain_until is None or drain_until <= now:
+            return True
+        reinject = self._reinject_cost()
+        backlog = (drain_until - now) / reinject
+        if backlog >= self._effective_capacity(session):
+            self.stats.dropped_buffer_full += 1
+            session.buffer.dropped += 1
+            return False
+        self._drain_until[session.seid] = drain_until + reinject
+        packet.meta["extra_delay"] = drain_until + reinject - now
+        return True
+
+    def flush_session(self, session: UPFSession) -> int:
+        """Forward a session's buffered DL packets in order.
+
+        Returns the number of packets released.  Called when a FAR
+        flips from BUFF to FORW (paging complete, handover complete).
+        Draining is not free: each buffered packet is re-injected
+        serially (see :meth:`CostModel.buffer_reinject`), and traffic
+        arriving during the drain queues behind it.
+        """
+        far = self._downlink_far(session)
+        released = session.buffer.drain()
+        if far is None or far.action.outer_teid is None:
+            self.stats.dropped_action += len(released)
+            return 0
+        reinject = self._reinject_cost()
+        now = self.env.now
+        start = max(now, self._drain_until.get(session.seid, now))
+        for position, packet in enumerate(released):
+            packet.teid = far.action.outer_teid
+            packet.meta["extra_delay"] = (
+                start + (position + 1) * reinject - now
+            )
+            self.stats.forwarded_dl += 1
+            self.downlink_sink(
+                packet, far.action.outer_teid, far.action.outer_address
+            )
+        self._drain_until[session.seid] = start + len(released) * reinject
+        session.report_pending = False
+        return len(released)
+
+    def _downlink_far(self, session: UPFSession) -> Optional[FAR]:
+        for pdr in session.pdrs.values():
+            if pdr.source_interface == pfcp_ies.CORE:
+                return session.fars.get(pdr.far_id)
+        return None
+
+    # ------------------------------------------------------------------
+    # Platform integration
+    # ------------------------------------------------------------------
+    def processing_time(self, descriptor: Descriptor) -> float:
+        packet = descriptor.payload
+        size = packet.size if isinstance(packet, Packet) else 64
+        return self.costs.per_packet_cost(self.fast_path, size)
+
+    def handle(self, descriptor: Descriptor):
+        packet = descriptor.payload
+        if isinstance(packet, Packet):
+            self.process(packet)
+        descriptor.free()
+        return ()

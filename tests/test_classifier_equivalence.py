@@ -1,0 +1,154 @@
+"""Property-based equivalence of the three classifiers.
+
+The linear scan is the 3GPP-specified reference; TSS and PartitionSort
+must return a rule of the *same priority* for every key (rule ids may
+differ only when two rules tie, which the generators preclude by using
+unique priorities).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifier import (
+    ClassBenchGenerator,
+    LinearClassifier,
+    PartitionSortClassifier,
+    Rule,
+    TupleSpaceClassifier,
+    PDI_FIELDS,
+    exact,
+    prefix,
+    wildcard,
+)
+
+_FIELD_INDEX = {spec.name: i for i, spec in enumerate(PDI_FIELDS)}
+
+
+@st.composite
+def prefix_rules(draw, max_rules=30):
+    """Random rule lists with prefix-expressible ranges and unique
+    priorities, plus keys biased to hit them."""
+    count = draw(st.integers(min_value=1, max_value=max_rules))
+    rules = []
+    for index in range(count):
+        ranges = []
+        for spec in PDI_FIELDS:
+            mode = draw(st.sampled_from(["wild", "exact", "prefix"]))
+            if mode == "wild":
+                ranges.append(wildcard(spec))
+            elif mode == "exact":
+                ranges.append(
+                    exact(draw(st.integers(0, spec.max_value)))
+                )
+            else:
+                length = draw(st.integers(0, spec.bits))
+                ranges.append(
+                    prefix(spec, draw(st.integers(0, spec.max_value)), length)
+                )
+        rules.append(
+            Rule(ranges=tuple(ranges), priority=index + 1, rule_id=index + 1)
+        )
+    keys = []
+    for _ in range(10):
+        rule = draw(st.sampled_from(rules))
+        keys.append(
+            tuple(
+                draw(st.integers(low, high)) for low, high in rule.ranges
+            )
+        )
+    return rules, keys
+
+
+@settings(max_examples=40, deadline=None)
+@given(prefix_rules())
+def test_equivalence_on_random_rules(data):
+    rules, keys = data
+    linear = LinearClassifier()
+    tss = TupleSpaceClassifier()
+    partition = PartitionSortClassifier()
+    for classifier in (linear, tss, partition):
+        classifier.extend(rules)
+    for key in keys:
+        expected = linear.lookup(key)
+        got_tss = tss.lookup(key)
+        got_ps = partition.lookup(key)
+        assert expected is not None
+        assert got_tss is not None and got_tss.priority == expected.priority
+        assert got_ps is not None and got_ps.priority == expected.priority
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=2**32 - 1),
+    prefix_rules(max_rules=15),
+)
+def test_equivalence_on_random_misses(probe_ip, data):
+    """Uniform random keys must agree too (usually misses)."""
+    rules, _ = data
+    linear = LinearClassifier()
+    tss = TupleSpaceClassifier()
+    partition = PartitionSortClassifier()
+    for classifier in (linear, tss, partition):
+        classifier.extend(rules)
+    key = Rule.key_from_fields(src_ip=probe_ip, dst_ip=probe_ip ^ 0x5A5A5A5A)
+    expected = linear.lookup(key)
+    for other in (tss, partition):
+        got = other.lookup(key)
+        if expected is None:
+            assert got is None
+        else:
+            assert got is not None and got.priority == expected.priority
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.sampled_from(["mixed", "best", "worst"]),
+)
+def test_equivalence_on_classbench(seed, profile):
+    generator = ClassBenchGenerator(seed=seed, profile=profile)
+    rules = generator.rules(60)
+    keys = generator.matching_keys(rules, 30) + generator.random_keys(10)
+    linear = LinearClassifier()
+    tss = TupleSpaceClassifier()
+    partition = PartitionSortClassifier()
+    for classifier in (linear, tss, partition):
+        classifier.extend(rules)
+    for key in keys:
+        expected = linear.lookup(key)
+        for other in (tss, partition):
+            got = other.lookup(key)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.priority == expected.priority
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=1, max_value=1000), st.data())
+def test_equivalence_survives_removals(seed, data):
+    """After removing a random subset, all three still agree."""
+    generator = ClassBenchGenerator(seed=seed)
+    rules = generator.rules(40)
+    to_remove = data.draw(
+        st.lists(st.sampled_from(rules), max_size=20, unique_by=id)
+    )
+    keys = generator.matching_keys(rules, 20)
+    linear = LinearClassifier()
+    tss = TupleSpaceClassifier()
+    partition = PartitionSortClassifier()
+    for classifier in (linear, tss, partition):
+        classifier.extend(rules)
+        for rule in to_remove:
+            assert classifier.remove(rule)
+    for key in keys:
+        expected = linear.lookup(key)
+        for other in (tss, partition):
+            got = other.lookup(key)
+            if expected is None:
+                assert got is None
+            else:
+                assert got is not None
+                assert got.priority == expected.priority

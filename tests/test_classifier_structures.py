@@ -1,0 +1,157 @@
+"""Tests for the three classifier implementations individually."""
+
+import pytest
+
+from repro.classifier import (
+    ClassBenchGenerator,
+    LinearClassifier,
+    PartitionSortClassifier,
+    Rule,
+    TupleSpaceClassifier,
+    exact,
+    prefix,
+    PDI_FIELDS,
+)
+
+ALL_CLASSES = [LinearClassifier, TupleSpaceClassifier, PartitionSortClassifier]
+
+
+@pytest.fixture(params=ALL_CLASSES, ids=lambda cls: cls.name)
+def classifier(request):
+    return request.param()
+
+
+class TestCommonBehaviour:
+    def test_empty_lookup_misses(self, classifier):
+        assert classifier.lookup(Rule.key_from_fields()) is None
+        assert len(classifier) == 0
+
+    def test_single_rule_hit_and_miss(self, classifier):
+        rule = Rule.from_fields(priority=5, rule_id=1, dst_ip=exact(42))
+        classifier.insert(rule)
+        assert classifier.lookup(Rule.key_from_fields(dst_ip=42)) is rule
+        assert classifier.lookup(Rule.key_from_fields(dst_ip=43)) is None
+
+    def test_highest_priority_wins(self, classifier):
+        low = Rule.from_fields(priority=1, rule_id=1, dst_ip=exact(42))
+        high = Rule.from_fields(
+            priority=9, rule_id=2, dst_ip=exact(42), protocol=exact(17)
+        )
+        classifier.insert(low)
+        classifier.insert(high)
+        key = Rule.key_from_fields(dst_ip=42, protocol=17)
+        assert classifier.lookup(key).rule_id == 2
+        # A key not matching the specific rule falls to the general one.
+        key2 = Rule.key_from_fields(dst_ip=42, protocol=6)
+        assert classifier.lookup(key2).rule_id == 1
+
+    def test_remove(self, classifier):
+        rule = Rule.from_fields(priority=1, rule_id=7, dst_ip=exact(1))
+        classifier.insert(rule)
+        assert classifier.remove(rule)
+        assert classifier.lookup(Rule.key_from_fields(dst_ip=1)) is None
+        assert not classifier.remove(rule)
+        assert len(classifier) == 0
+
+    def test_update_replaces(self, classifier):
+        old = Rule.from_fields(priority=1, rule_id=7, dst_ip=exact(1))
+        new = Rule.from_fields(priority=1, rule_id=7, dst_ip=exact(2))
+        classifier.insert(old)
+        classifier.update(new)
+        assert classifier.lookup(Rule.key_from_fields(dst_ip=1)) is None
+        assert classifier.lookup(Rule.key_from_fields(dst_ip=2)) is new
+        assert len(classifier) == 1
+
+    def test_rules_snapshot(self, classifier):
+        generated = ClassBenchGenerator(seed=1).rules(20)
+        classifier.extend(generated)
+        snapshot = classifier.rules()
+        assert len(snapshot) == 20
+        assert {rule.rule_id for rule in snapshot} == {
+            rule.rule_id for rule in generated
+        }
+
+
+class TestTSSSpecifics:
+    def test_single_signature_single_subtable(self):
+        tss = TupleSpaceClassifier()
+        tss.extend(ClassBenchGenerator(seed=2, profile="best").rules(100))
+        assert tss.num_subtables == 1
+
+    def test_worst_case_many_subtables(self):
+        tss = TupleSpaceClassifier()
+        tss.extend(ClassBenchGenerator(seed=2, profile="worst").rules(100))
+        assert tss.num_subtables == 100
+
+    def test_non_prefix_range_rejected(self):
+        tss = TupleSpaceClassifier()
+        with pytest.raises(ValueError):
+            tss.insert(Rule.from_fields(dst_port=(5, 9)))
+
+    def test_subtable_removed_when_empty(self):
+        tss = TupleSpaceClassifier()
+        rule = Rule.from_fields(priority=1, rule_id=1, dst_ip=exact(5))
+        tss.insert(rule)
+        assert tss.num_subtables == 1
+        tss.remove(rule)
+        assert tss.num_subtables == 0
+
+
+class TestPartitionSortSpecifics:
+    def test_few_partitions_for_template_rules(self):
+        ps = PartitionSortClassifier()
+        ps.extend(ClassBenchGenerator(seed=3).rules(500))
+        # The paper's point: PartitionSort needs far fewer partitions
+        # than TSS needs sub-tables.
+        assert ps.num_partitions <= 12
+
+    def test_nested_intervals_split_partitions(self):
+        """Nested (overlapping-unequal) ranges cannot share a sortable
+        ruleset."""
+        ps = PartitionSortClassifier()
+        spec = PDI_FIELDS[0]
+        outer = Rule.from_fields(
+            priority=1, rule_id=1, src_ip=prefix(spec, 0x0A000000, 8)
+        )
+        inner = Rule.from_fields(
+            priority=2, rule_id=2, src_ip=prefix(spec, 0x0A010000, 16)
+        )
+        ps.insert(outer)
+        ps.insert(inner)
+        assert ps.num_partitions == 2
+        # Both still findable; the more specific, higher-priority wins.
+        key = Rule.key_from_fields(src_ip=0x0A010203)
+        assert ps.lookup(key).rule_id == 2
+
+    def test_identical_ranges_share_slot(self):
+        ps = PartitionSortClassifier()
+        a = Rule.from_fields(priority=1, rule_id=1, dst_ip=exact(9))
+        b = Rule.from_fields(priority=5, rule_id=2, dst_ip=exact(9))
+        ps.insert(a)
+        ps.insert(b)
+        assert ps.num_partitions == 1
+        assert ps.lookup(Rule.key_from_fields(dst_ip=9)).rule_id == 2
+        ps.remove(b)
+        assert ps.lookup(Rule.key_from_fields(dst_ip=9)).rule_id == 1
+
+    def test_empty_partition_cleaned_up(self):
+        ps = PartitionSortClassifier()
+        rule = Rule.from_fields(priority=1, rule_id=1, dst_ip=exact(1))
+        ps.insert(rule)
+        ps.remove(rule)
+        assert ps.num_partitions == 0
+
+
+class TestLinearSpecifics:
+    def test_first_match_semantics(self):
+        """Descending priority order, first match returned — exactly
+        TS 29.244 §5.2.1's prescription."""
+        linear = LinearClassifier()
+        rules = [
+            Rule.from_fields(priority=p, rule_id=p, dst_ip=exact(1))
+            for p in (3, 1, 2)
+        ]
+        linear.extend(rules)
+        stored = linear.rules()
+        assert [rule.priority for rule in stored] == [3, 2, 1]
+        assert linear.lookup(Rule.key_from_fields(dst_ip=1)).priority == 3

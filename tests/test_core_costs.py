@@ -1,0 +1,133 @@
+"""Tests for the calibrated cost model — the paper's headline ratios."""
+
+import pytest
+
+from repro.core import DEFAULT_COSTS, Channel, CostModel
+
+
+class TestChannelCosts:
+    def test_sbi_speedup_is_about_13x(self):
+        """Fig 9: shared memory beats HTTP by ~13x per message."""
+        http = DEFAULT_COSTS.message_cost(Channel.HTTP_JSON)
+        shm = DEFAULT_COSTS.message_cost(Channel.SHARED_MEMORY)
+        assert 11.0 <= http / shm <= 16.0
+
+    def test_serialization_ordering(self):
+        """JSON > FlatBuffers/Protobuf > shared memory (zero)."""
+        costs = DEFAULT_COSTS
+        json_total = costs.serialize_cost(
+            Channel.HTTP_JSON
+        ) + costs.deserialize_cost(Channel.HTTP_JSON)
+        proto_total = costs.serialize_cost(
+            Channel.HTTP_PROTOBUF
+        ) + costs.deserialize_cost(Channel.HTTP_PROTOBUF)
+        flat_total = costs.serialize_cost(
+            Channel.HTTP_FLATBUFFERS
+        ) + costs.deserialize_cost(Channel.HTTP_FLATBUFFERS)
+        shm_total = costs.serialize_cost(
+            Channel.SHARED_MEMORY
+        ) + costs.deserialize_cost(Channel.SHARED_MEMORY)
+        assert json_total > proto_total > shm_total
+        assert json_total > flat_total > shm_total
+        assert shm_total == 0.0
+
+    def test_flatbuffers_deserialize_near_zero(self):
+        """Fig 6: FlatBuffers' decode is almost free; encode is not."""
+        costs = DEFAULT_COSTS
+        assert costs.flatbuffers_deserialize < costs.flatbuffers_serialize / 5
+
+    def test_optimized_serialization_alone_insufficient(self):
+        """Fig 6's argument: even FlatBuffers over kernel sockets costs
+        far more than shared memory, because the protocol stack remains."""
+        flat = DEFAULT_COSTS.message_cost(Channel.HTTP_FLATBUFFERS)
+        shm = DEFAULT_COSTS.message_cost(Channel.SHARED_MEMORY)
+        assert flat > 5 * shm
+
+    def test_shared_memory_has_no_copies(self):
+        small = DEFAULT_COSTS.protocol_cost(Channel.SHARED_MEMORY, 64)
+        large = DEFAULT_COSTS.protocol_cost(Channel.SHARED_MEMORY, 64 << 20)
+        assert small == large
+
+    def test_kernel_channels_scale_with_size(self):
+        small = DEFAULT_COSTS.protocol_cost(Channel.HTTP_JSON, 64)
+        large = DEFAULT_COSTS.protocol_cost(Channel.HTTP_JSON, 1 << 20)
+        assert large > small
+
+    def test_pfcp_transport_reduction_moderate(self):
+        """Fig 7: PFCP over shm is 21-39% faster including the handler."""
+        costs = DEFAULT_COSTS
+        handler = 450e-6
+        udp = costs.message_cost(Channel.UDP_PFCP) + handler
+        shm = costs.message_cost(Channel.SHARED_MEMORY) + handler
+        assert 0.15 <= 1 - shm / udp <= 0.45
+
+
+class TestDataPlane:
+    def test_forwarding_ratio_27x_at_68_bytes(self):
+        """Fig 10(a): L25GC forwards 27x more 68-byte packets."""
+        fast = DEFAULT_COSTS.forwarding_rate_pps(True, 68)
+        slow = DEFAULT_COSTS.forwarding_rate_pps(False, 68)
+        assert 24.0 <= fast / slow <= 30.0
+
+    def test_l25gc_line_rate_small_packets(self):
+        """One core pushes >= 10G line rate at 68 bytes (~14.9 Mpps)."""
+        line_rate = 10e9 / (8 * (68 + 24))
+        assert DEFAULT_COSTS.forwarding_rate_pps(True, 68) >= line_rate
+
+    def test_mtu_scaling_to_40g(self):
+        """§5.3: 1 core ~ 10G at MTU; 4 cores comfortably reach 40G."""
+        one = DEFAULT_COSTS.forwarding_rate_pps(True, 1500, 1) * 1500 * 8
+        four = DEFAULT_COSTS.forwarding_rate_pps(True, 1500, 4) * 1500 * 8
+        assert one >= 10e9
+        assert four >= 40e9
+
+    def test_base_rtt_anchors(self):
+        """Table 1: base RTT 116 us (free5GC) vs ~25 us (L25GC)."""
+        kernel_rtt = 2 * (
+            DEFAULT_COSTS.forward_latency(False) + DEFAULT_COSTS.lan_propagation
+        )
+        dpdk_rtt = 2 * (
+            DEFAULT_COSTS.forward_latency(True) + DEFAULT_COSTS.lan_propagation
+        )
+        assert kernel_rtt == pytest.approx(116e-6, rel=0.05)
+        assert dpdk_rtt == pytest.approx(25e-6, rel=0.10)
+
+    def test_latency_ratio_about_15x(self):
+        """Conclusion: ~15x latency improvement."""
+        ratio = DEFAULT_COSTS.forward_latency(False) / DEFAULT_COSTS.forward_latency(True)
+        assert 3.0 <= ratio <= 20.0
+
+    def test_multisession_contention(self):
+        """Table 2 expt ii: 4 sessions inflate the kernel base RTT ~3.7x
+        but the poll-mode path only ~1.6x."""
+        kernel = DEFAULT_COSTS.forward_latency(False, 4) / DEFAULT_COSTS.forward_latency(False, 1)
+        dpdk = DEFAULT_COSTS.forward_latency(True, 4) / DEFAULT_COSTS.forward_latency(True, 1)
+        assert kernel > dpdk
+        assert kernel == pytest.approx(3.7, rel=0.05)
+        assert dpdk == pytest.approx(1.6, rel=0.05)
+
+    def test_buffer_reinject_kernel_much_slower(self):
+        assert DEFAULT_COSTS.buffer_reinject(False) > 5 * DEFAULT_COSTS.buffer_reinject(True)
+
+    def test_per_packet_cost_monotone_in_size(self):
+        for fast in (True, False):
+            costs = [
+                DEFAULT_COSTS.per_packet_cost(fast, size)
+                for size in (64, 128, 512, 1500)
+            ]
+            assert costs == sorted(costs)
+
+
+class TestScaled:
+    def test_scaled_overrides(self):
+        derived = DEFAULT_COSTS.scaled(radio_sync=0.0)
+        assert derived.radio_sync == 0.0
+        assert DEFAULT_COSTS.radio_sync > 0.0
+        assert derived.handler_processing == DEFAULT_COSTS.handler_processing
+
+    def test_resiliency_anchors(self):
+        """§5.5.1: detect < 0.5 ms, reroute 2 ms, replay 3 ms."""
+        assert DEFAULT_COSTS.failure_detection < 0.5e-3
+        assert DEFAULT_COSTS.reroute == pytest.approx(2e-3)
+        assert DEFAULT_COSTS.replay == pytest.approx(3e-3)
+        assert DEFAULT_COSTS.local_sync == pytest.approx(5e-6)

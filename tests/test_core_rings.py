@@ -1,0 +1,117 @@
+"""Tests for the SPSC descriptor rings."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import Ring, RingEmptyError, RingFullError
+
+
+class TestBasics:
+    def test_fifo(self):
+        ring = Ring(8)
+        for value in range(5):
+            ring.enqueue(value)
+        assert [ring.dequeue() for _ in range(5)] == list(range(5))
+
+    def test_capacity_rounded_to_power_of_two(self):
+        assert Ring(5).capacity == 8
+        assert Ring(8).capacity == 8
+        assert Ring(1).capacity == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Ring(0)
+
+    def test_full_raises_and_counts(self):
+        ring = Ring(2)
+        ring.enqueue(1)
+        ring.enqueue(2)
+        with pytest.raises(RingFullError):
+            ring.enqueue(3)
+        assert ring.enqueue_failures == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(RingEmptyError):
+            Ring(4).dequeue()
+
+    def test_len_and_flags(self):
+        ring = Ring(4)
+        assert ring.is_empty and not ring.is_full
+        for value in range(4):
+            ring.enqueue(value)
+        assert ring.is_full and not ring.is_empty
+        assert len(ring) == 4
+        assert ring.free_count == 0
+
+    def test_peek(self):
+        ring = Ring(4)
+        assert ring.peek() is None
+        ring.enqueue("x")
+        assert ring.peek() == "x"
+        assert len(ring) == 1  # peek does not consume
+
+    def test_wraparound(self):
+        ring = Ring(4)
+        for round_number in range(10):
+            ring.enqueue(round_number)
+            assert ring.dequeue() == round_number
+        assert ring.enqueued == 10
+        assert ring.dequeued == 10
+
+    def test_clear(self):
+        ring = Ring(4)
+        for value in range(3):
+            ring.enqueue(value)
+        assert ring.clear() == 3
+        assert ring.is_empty
+
+    def test_high_watermark(self):
+        ring = Ring(8)
+        for value in range(6):
+            ring.enqueue(value)
+        for _ in range(6):
+            ring.dequeue()
+        assert ring.high_watermark == 6
+
+
+class TestBurst:
+    def test_enqueue_burst_partial(self):
+        ring = Ring(4)
+        accepted = ring.enqueue_burst(list(range(10)))
+        assert accepted == 4
+        assert ring.enqueue_failures == 6
+
+    def test_dequeue_burst(self):
+        ring = Ring(8)
+        ring.enqueue_burst(list(range(5)))
+        assert ring.dequeue_burst(3) == [0, 1, 2]
+        assert ring.dequeue_burst(10) == [3, 4]
+        assert ring.dequeue_burst(1) == []
+
+    @given(st.lists(st.integers(), max_size=100))
+    def test_burst_roundtrip_order(self, items):
+        ring = Ring(128)
+        ring.enqueue_burst(items)
+        assert ring.dequeue_burst(len(items)) == items
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.integers(min_value=0, max_value=5)),
+            max_size=200,
+        )
+    )
+    def test_never_exceeds_capacity(self, operations):
+        ring = Ring(8)
+        model = []
+        for is_enqueue, count in operations:
+            if is_enqueue:
+                accepted = ring.enqueue_burst(list(range(count)))
+                model.extend(range(accepted))
+            else:
+                got = ring.dequeue_burst(count)
+                expected = model[: len(got)]
+                del model[: len(got)]
+                assert len(got) == len(expected)
+            assert 0 <= len(ring) <= ring.capacity
+            assert len(ring) == len(model)

@@ -1,0 +1,162 @@
+"""Tests for deployment: LB affinity, RSS, canary, placement."""
+
+import pytest
+
+from repro.deploy import (
+    CanaryController,
+    FiveGCUnit,
+    NodeSpec,
+    PlacementEngine,
+    RSSIndirection,
+    UEAwareLoadBalancer,
+    UnitHandle,
+    hash_five_tuple,
+    toeplitz_hash,
+)
+from repro.net import FiveTuple, Packet
+from repro.sim import Environment
+
+
+class TestLoadBalancer:
+    def _lb(self, units=3, capacity=10):
+        lb = UEAwareLoadBalancer()
+        for unit_id in range(units):
+            lb.add_unit(UnitHandle(unit_id=unit_id, capacity_sessions=capacity))
+        return lb
+
+    def test_balanced_assignment(self):
+        lb = self._lb()
+        for index in range(9):
+            lb.assign(f"imsi-{index}")
+        assert set(lb.distribution().values()) == {3}
+
+    def test_affinity_stable(self):
+        """§4: a UE session stays pinned to its 5GC unit."""
+        lb = self._lb()
+        first = lb.assign("imsi-A").unit_id
+        for index in range(20):
+            lb.assign(f"imsi-filler-{index}")
+        assert lb.assign("imsi-A").unit_id == first
+        # Affinity hits don't double-count sessions.
+        assert sum(lb.distribution().values()) == 21
+
+    def test_failed_unit_triggers_reassignment(self):
+        lb = self._lb()
+        unit = lb.assign("imsi-A").unit_id
+        lb.mark_failed(unit)
+        new_unit = lb.assign("imsi-A").unit_id
+        assert new_unit != unit
+        # And the new affinity is itself stable.
+        assert lb.assign("imsi-A").unit_id == new_unit
+
+    def test_capacity_exhaustion(self):
+        lb = self._lb(units=1, capacity=2)
+        assert lb.assign("imsi-1") is not None
+        assert lb.assign("imsi-2") is not None
+        assert lb.assign("imsi-3") is None
+        assert lb.rejected == 1
+
+    def test_release_frees_capacity(self):
+        lb = self._lb(units=1, capacity=1)
+        lb.assign("imsi-1")
+        lb.release("imsi-1")
+        assert lb.assign("imsi-2") is not None
+
+    def test_duplicate_unit_rejected(self):
+        lb = self._lb(units=1)
+        with pytest.raises(ValueError):
+            lb.add_unit(UnitHandle(unit_id=0))
+
+
+class TestRSS:
+    def test_toeplitz_deterministic(self):
+        data = b"\x0a\x00\x00\x01\x08\x08\x08\x08\x9c\x40\x01\xbb"
+        assert toeplitz_hash(data) == toeplitz_hash(data)
+
+    def test_toeplitz_key_too_short(self):
+        with pytest.raises(ValueError):
+            toeplitz_hash(b"x" * 64, key=b"short")
+
+    def test_same_flow_same_queue(self):
+        rss = RSSIndirection(num_queues=8)
+        flow = FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+        assert rss.queue_for(flow) == rss.queue_for(flow)
+
+    def test_flows_spread(self):
+        rss = RSSIndirection(num_queues=4)
+        queues = {
+            rss.queue_for(
+                FiveTuple(src_ip=index, dst_ip=index ^ 0xFFFF,
+                          src_port=1000 + index, dst_port=443)
+            )
+            for index in range(200)
+        }
+        assert queues == {0, 1, 2, 3}
+
+    def test_dispatch_preserves_flow_affinity(self):
+        rss = RSSIndirection(num_queues=4)
+        flow = FiveTuple(src_ip=1, dst_ip=2, src_port=3, dst_port=4)
+        packets = [Packet(flow=flow) for _ in range(10)]
+        queues = rss.dispatch(packets)
+        non_empty = [queue for queue in queues if queue]
+        assert len(non_empty) == 1 and len(non_empty[0]) == 10
+
+    def test_invalid_queue_count(self):
+        with pytest.raises(ValueError):
+            RSSIndirection(num_queues=0)
+
+
+class TestCanaryAndPlacement:
+    def _controller(self):
+        from repro.core import NetworkFunction, NFManager, NFStatus
+
+        env = Environment()
+        manager = NFManager(env)
+        for instance_id, name in ((0, "v1"), (1, "v2")):
+            nf = NetworkFunction(env, name, service_id=3,
+                                 instance_id=instance_id)
+            manager.register(nf)
+            nf.status = NFStatus.RUNNING
+        return manager, CanaryController(manager, service_id=3)
+
+    def test_ramp_schedule(self):
+        manager, controller = self._controller()
+        for share in (0.05, 0.25, 0.5):
+            controller.set_canary_share(share)
+            picks = [manager.lookup(3).instance_id for _ in range(400)]
+            assert picks.count(1) / 400 == pytest.approx(share, abs=0.01)
+        assert controller.history == [0.05, 0.25, 0.5]
+
+    def test_promote_and_rollback(self):
+        manager, controller = self._controller()
+        controller.promote()
+        assert manager.lookup(3).instance_id == 1
+        controller.rollback()
+        assert manager.lookup(3).instance_id == 0
+
+    def test_invalid_share(self):
+        _, controller = self._controller()
+        with pytest.raises(ValueError):
+            controller.set_canary_share(1.5)
+
+    def test_placement_same_node_affinity(self):
+        env = Environment()
+        nodes = [NodeSpec(node_id=0, cores=12), NodeSpec(node_id=1, cores=12)]
+        engine = PlacementEngine(nodes)
+        units = [FiveGCUnit(env, unit_id=i) for i in range(4)]
+        placed = [engine.place(unit) for unit in units]
+        assert all(node is not None for node in placed)
+        # 6 cores per unit -> two per 12-core node.
+        assert sorted(engine.utilization().values()) == [1.0, 1.0]
+
+    def test_placement_rejects_when_full(self):
+        env = Environment()
+        engine = PlacementEngine([NodeSpec(node_id=0, cores=6)])
+        assert engine.place(FiveGCUnit(env, unit_id=0)) is not None
+        assert engine.place(FiveGCUnit(env, unit_id=1)) is None
+
+    def test_unit_file_prefixes_unique(self):
+        env = Environment()
+        a = FiveGCUnit(env, unit_id=1)
+        b = FiveGCUnit(env, unit_id=2)
+        assert a.file_prefix != b.file_prefix

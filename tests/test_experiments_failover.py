@@ -1,0 +1,131 @@
+"""Shape tests for the failover experiments (§5.5, Figs 15-17)."""
+
+import pytest
+
+from repro.experiments.fig15 import (
+    control_plane_failover,
+    data_plane_failover,
+)
+from repro.experiments.fig16 import failover_during_handover
+from repro.experiments.fig17 import repeated_handovers
+from repro.resiliency import reattach_time
+from repro.tcpmodel import MIN_RTO
+
+
+class TestControlPlaneFailover:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return control_plane_failover()
+
+    def test_l25gc_failure_nearly_transparent(self, result):
+        """§5.5.1: 134 ms with failure vs 130 ms without."""
+        penalty = (
+            result.l25gc_ho_with_failure_s
+            - result.l25gc_ho_without_failure_s
+        )
+        assert 0.003 <= penalty <= 0.008  # a few milliseconds
+
+    def test_reattach_around_400ms(self, result):
+        assert result.reattach_ho_with_failure_s == pytest.approx(
+            0.401, rel=0.10
+        )
+
+    def test_l25gc_vs_reattach_factor(self, result):
+        assert (
+            result.reattach_ho_with_failure_s
+            > 2.5 * result.l25gc_ho_with_failure_s
+        )
+
+    def test_detection_under_half_ms(self, result):
+        assert result.detection_s < 0.5e-3
+
+    def test_reattach_time_derived_from_procedures(self):
+        """~287 ms: free5GC registration + session + notification."""
+        assert reattach_time() == pytest.approx(0.288, rel=0.10)
+
+
+class TestDataPlaneFailover:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return data_plane_failover()
+
+    def test_l25gc_loses_nothing(self, results):
+        l25gc = results["l25gc"]
+        assert l25gc.packets_lost == 0
+        assert l25gc.packets_replayed > 0
+        assert l25gc.retransmissions == 0
+
+    def test_reattach_loses_inflight_packets(self, results):
+        """§5.5.2: ~121 packets dropped at 10 Kpps over the outage in
+        the paper's run; proportional to our reattach outage."""
+        reattach = results["3gpp-reattach"]
+        assert reattach.packets_lost > 1000  # 10 Kpps x ~290 ms
+        assert reattach.retransmissions > 0
+
+    def test_outage_magnitudes(self, results):
+        assert results["l25gc"].outage_s < 0.010
+        assert results["3gpp-reattach"].outage_s > 0.200
+
+    def test_goodput_preserved_for_l25gc(self, results):
+        l25gc = results["l25gc"]
+        assert l25gc.goodput_during_bps > 0.7 * l25gc.goodput_before_bps
+        reattach = results["3gpp-reattach"]
+        assert reattach.goodput_during_bps < 0.7 * reattach.goodput_before_bps
+
+
+class TestFailoverDuringHandover:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return failover_during_handover()
+
+    def test_l25gc_stall_short(self, results):
+        assert results["l25gc"].stall_s < MIN_RTO
+        assert results["3gpp-reattach"].stall_s > MIN_RTO
+
+    def test_l25gc_no_retransmissions(self, results):
+        assert results["l25gc"].retransmissions == 0
+        assert results["3gpp-reattach"].retransmissions > 0
+
+    def test_goodput_recovers_better(self, results):
+        l25gc = results["l25gc"]
+        reattach = results["3gpp-reattach"]
+        assert l25gc.goodput_after_bps > reattach.goodput_after_bps
+
+    def test_more_data_transferred(self, results):
+        assert (
+            results["l25gc"].total_transferred_bytes
+            > results["3gpp-reattach"].total_transferred_bytes
+        )
+
+
+class TestRepeatedHandovers:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return repeated_handovers(run_seconds=24.0)
+
+    def test_free5gc_spurious_every_handover(self, results):
+        free = results["free5gc"]
+        # Every handover trips RTOs across the 10 connections.
+        assert free.spurious_timeouts >= free.handovers
+
+    def test_l25gc_clean(self, results):
+        l25gc = results["l25gc"]
+        assert l25gc.spurious_timeouts == 0
+        assert l25gc.retransmissions == 0
+
+    def test_transfer_gap_about_6_percent(self, results):
+        """Appendix C: 442 MB vs 416 MB (~6 % more data for L25GC)."""
+        l25gc = results["l25gc"].transferred_bytes
+        free = results["free5gc"].transferred_bytes
+        assert l25gc > free
+        assert 0.02 <= (l25gc - free) / l25gc <= 0.25
+
+    def test_rtx_per_handover_scale(self, results):
+        """~60 spurious rtx per handover per connection in the paper;
+        with 10 connections that is a few hundred per handover."""
+        free = results["free5gc"]
+        assert 100 <= free.rtx_per_handover <= 1500
+
+    def test_max_rtt_straddles_rto(self, results):
+        assert results["free5gc"].max_rtt_s > MIN_RTO
+        assert results["l25gc"].max_rtt_s < MIN_RTO

@@ -1,0 +1,127 @@
+"""Tests for the handover preparation-failure (admission control) path."""
+
+import pytest
+
+from repro.cp import FiveGCore, HOState, ProcedureRunner, SystemConfig
+from repro.net import Direction, FiveTuple, Packet
+from repro.sim import Environment
+
+
+def connected_ue(config=None, target_max_ues=None):
+    env = Environment()
+    core = FiveGCore(env, config or SystemConfig.l25gc())
+    core.gnbs[2].max_ues = target_max_ues
+    runner = ProcedureRunner(core)
+    ue = core.add_ue("imsi-208930000008101")
+    detail = {}
+
+    def setup():
+        yield from runner.register_ue(ue, gnb_id=1)
+        result = yield from runner.establish_session(ue)
+        detail.update(result.detail)
+
+    env.process(setup())
+    env.run()
+    return env, core, runner, ue, detail
+
+
+class TestAdmissionControl:
+    def test_can_admit_semantics(self):
+        from repro.ran import GNodeB, UserEquipment
+
+        env = Environment()
+        gnb = GNodeB(env, gnb_id=9, address=1, max_ues=1)
+        first, second = UserEquipment("imsi-a"), UserEquipment("imsi-b")
+        assert gnb.can_admit(first)
+        gnb.connect(first)
+        assert gnb.can_admit(first)  # already connected
+        assert not gnb.can_admit(second)
+
+    def test_refused_handover_cancels(self):
+        env, core, runner, ue, detail = connected_ue(target_max_ues=0)
+        results = []
+
+        def scenario():
+            results.append((yield from runner.handover(ue, 2)))
+
+        env.process(scenario())
+        env.run()
+        result = results[0]
+        assert result.event == "handover-cancelled"
+        assert result.detail["cause"] == "no-resources"
+        # The UE never moved.
+        assert ue.serving_gnb_id == 1
+        assert core.gnbs[1].is_connected(ue)
+        assert not core.gnbs[2].is_connected(ue)
+        sm = core.smf.context_for(ue.supi, 1)
+        assert sm.ho_state is HOState.NONE
+        assert sm.gnb_address == core.gnbs[1].address
+
+    def test_data_still_flows_after_cancel(self):
+        env, core, runner, ue, detail = connected_ue(target_max_ues=0)
+
+        def scenario():
+            yield from runner.handover(ue, 2)
+
+        env.process(scenario())
+        env.run()
+        core.inject_downlink(
+            Packet(direction=Direction.DOWNLINK,
+                   flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                                  src_port=80, dst_port=4000),
+                   created_at=env.now)
+        )
+        env.run()
+        assert core.gnbs[1].delivered == 1
+
+    def test_buffered_packets_released_on_cancel(self):
+        """Traffic buffered during the failed preparation is not lost."""
+        env, core, runner, ue, detail = connected_ue(target_max_ues=0)
+
+        def traffic():
+            for seq in range(20):
+                core.inject_downlink(
+                    Packet(direction=Direction.DOWNLINK, seq=seq,
+                           flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                                          src_port=80, dst_port=4000),
+                           created_at=env.now)
+                )
+                yield env.timeout(0.002)
+
+        def move():
+            yield env.timeout(0.005)
+            yield from runner.handover(ue, 2)
+
+        env.process(traffic())
+        env.process(move())
+        env.run()
+        assert len(ue.received) == 20
+        received = [packet.seq for packet in ue.received]
+        assert received == sorted(received)
+
+    def test_retry_succeeds_after_capacity_frees(self):
+        env, core, runner, ue, detail = connected_ue(target_max_ues=0)
+        outcomes = []
+
+        def scenario():
+            outcomes.append((yield from runner.handover(ue, 2)))
+            core.gnbs[2].max_ues = None  # capacity restored
+            outcomes.append((yield from runner.handover(ue, 2)))
+
+        env.process(scenario())
+        env.run()
+        assert outcomes[0].event == "handover-cancelled"
+        assert outcomes[1].event == "handover"
+        assert ue.serving_gnb_id == 2
+
+    def test_cancel_cheaper_than_full_handover(self):
+        env, core, runner, ue, _ = connected_ue(target_max_ues=0)
+        outcomes = []
+
+        def scenario():
+            outcomes.append((yield from runner.handover(ue, 2)))
+
+        env.process(scenario())
+        env.run()
+        # No radio sync happened: the cancel completes much faster.
+        assert outcomes[0].duration < 0.06

@@ -1,0 +1,204 @@
+"""End-to-end integration scenarios across subsystems."""
+
+import pytest
+
+from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
+from repro.net import Direction, FiveTuple, Packet, PacketKind
+from repro.ran import CMState
+from repro.sim import MS, Environment
+from repro.traffic import ConstantRateGenerator, LatencySeries, summarize
+
+
+class TestTwoUEsConcurrent:
+    """The paper's control plane supports two users (§3.2) — run both
+    through the full lifecycle concurrently and check isolation."""
+
+    def test_concurrent_lifecycles(self):
+        env = Environment()
+        core = FiveGCore(env, SystemConfig.l25gc())
+        runner = ProcedureRunner(core)
+        ues = [core.add_ue(f"imsi-2089300000100{i:02d}") for i in range(2)]
+        details = {}
+
+        def lifecycle(ue, index):
+            yield from runner.register_ue(ue, gnb_id=1)
+            result = yield from runner.establish_session(ue)
+            details[index] = result.detail
+            yield from runner.handover(ue, target_gnb_id=2)
+
+        for index, ue in enumerate(ues):
+            env.process(lifecycle(ue, index))
+        env.run()
+        assert len(details) == 2
+        assert details[0]["ue_ip"] != details[1]["ue_ip"]
+        assert details[0]["seid"] != details[1]["seid"]
+        assert all(ue.serving_gnb_id == 2 for ue in ues)
+        assert len(core.sessions) == 2
+
+    def test_traffic_isolated_per_ue(self):
+        env = Environment()
+        core = FiveGCore(env, SystemConfig.l25gc())
+        for gnb in core.gnbs.values():
+            gnb.radio_latency = 0.0
+        runner = ProcedureRunner(core)
+        ues = [core.add_ue(f"imsi-2089300000200{i:02d}") for i in range(2)]
+        details = {}
+
+        def lifecycle(ue, index):
+            yield from runner.register_ue(ue, gnb_id=1)
+            result = yield from runner.establish_session(ue)
+            details[index] = result.detail
+
+        for index, ue in enumerate(ues):
+            env.process(lifecycle(ue, index))
+        env.run()
+        # Send 50 packets to UE 0 only.
+        for _ in range(50):
+            core.inject_downlink(Packet(
+                direction=Direction.DOWNLINK,
+                flow=FiveTuple(src_ip=1, dst_ip=details[0]["ue_ip"],
+                               src_port=80, dst_port=4000),
+                created_at=env.now,
+            ))
+        env.run()
+        assert len(ues[0].received) == 50
+        assert len(ues[1].received) == 0
+
+
+class TestSteadyStateDataPlane:
+    @pytest.mark.parametrize(
+        "factory,expected_rtt",
+        [(SystemConfig.free5gc, 116e-6), (SystemConfig.l25gc, 25e-6)],
+        ids=["free5gc", "l25gc"],
+    )
+    def test_base_rtt_through_full_stack(self, factory, expected_rtt):
+        """Generator -> UPF -> gNB -> UE, measured like the paper."""
+        env = Environment()
+        core = FiveGCore(env, factory())
+        for gnb in core.gnbs.values():
+            gnb.radio_latency = 0.0
+        runner = ProcedureRunner(core)
+        ue = core.add_ue("imsi-208930000003001")
+        details = {}
+
+        def setup():
+            yield from runner.register_ue(ue)
+            result = yield from runner.establish_session(ue)
+            details.update(result.detail)
+
+        env.process(setup())
+        env.run()
+        series = LatencySeries()
+        original = ue.deliver
+
+        def hook(packet, now):
+            original(packet, now)
+            series.record_one_way(packet)
+
+        ue.deliver = hook
+        ConstantRateGenerator(
+            env,
+            core.inject_downlink,
+            rate_pps=5000,
+            flow=FiveTuple(src_ip=1, dst_ip=details["ue_ip"],
+                           src_port=80, dst_port=4000),
+            duration=0.2,
+        )
+        env.run()
+        summary = summarize(series)
+        assert summary.base_rtt == pytest.approx(expected_rtt, rel=0.10)
+        assert summary.elevated_count == 0  # steady state, no events
+
+
+class TestIdleActiveDataCycle:
+    def test_multiple_paging_cycles(self):
+        """Idle -> page -> active, three times, without losing data."""
+        env = Environment()
+        core = FiveGCore(env, SystemConfig.l25gc())
+        for gnb in core.gnbs.values():
+            gnb.radio_latency = 0.0
+        runner = ProcedureRunner(core)
+        ue = core.add_ue("imsi-208930000004001")
+        details = {}
+
+        def setup():
+            yield from runner.register_ue(ue)
+            result = yield from runner.establish_session(ue)
+            details.update(result.detail)
+
+        env.process(setup())
+        env.run()
+
+        def on_report(report):
+            def page():
+                yield from runner.page_ue(ue)
+
+            env.process(page())
+
+        core.on_report = on_report
+        sent = 0
+        for cycle in range(3):
+            def idle():
+                yield from runner.release_to_idle(ue)
+
+            env.process(idle())
+            env.run()
+            assert ue.cm_state is CMState.IDLE
+            for _ in range(10):
+                core.inject_downlink(Packet(
+                    direction=Direction.DOWNLINK,
+                    flow=FiveTuple(src_ip=1, dst_ip=details["ue_ip"],
+                                   src_port=80, dst_port=4000),
+                    created_at=env.now,
+                ))
+                sent += 1
+            env.run()
+            assert ue.cm_state is CMState.CONNECTED
+        assert len(ue.received) == sent
+
+
+class TestResiliencyIntegration:
+    def test_state_replicated_through_procedures(self):
+        """Run real procedures, checkpoint AMF/SMF state to a remote
+        replica, and verify the replica can serve the same contexts."""
+        from repro.cp.nfs import AMF, SMF
+        from repro.resiliency import ResiliencyFramework
+
+        env = Environment()
+        core = FiveGCore(env, SystemConfig.l25gc())
+        runner = ProcedureRunner(core)
+        ue = core.add_ue("imsi-208930000005001")
+        framework = ResiliencyFramework(
+            env,
+            {"amf": core.amf, "smf": core.smf},
+            sync_period=5 * MS,
+        )
+        framework.start()
+
+        def scenario():
+            yield from runner.register_ue(ue)
+            framework.log_message(
+                "registration", Direction.UPLINK, PacketKind.CONTROL
+            )
+            yield from framework.commit_event()
+            yield from runner.establish_session(ue)
+            framework.log_message(
+                "session", Direction.UPLINK, PacketKind.CONTROL
+            )
+            yield from framework.commit_event()
+            yield env.timeout(50 * MS)  # let checkpoints flow
+
+        env.process(scenario())
+        env.run(until=1.0)
+        framework.stop()
+
+        # Rebuild an AMF and SMF from the remote replica's state.
+        amf_clone = AMF()
+        amf_clone.restore(framework.remote.state_of("amf"))
+        assert amf_clone.context(ue.supi).guti == ue.guti
+        smf_clone = SMF()
+        smf_clone.restore(framework.remote.state_of("smf"))
+        restored = smf_clone.context_for(ue.supi, 1)
+        original = core.smf.context_for(ue.supi, 1)
+        assert restored.ue_ip == original.ue_ip
+        assert restored.ul_teid == original.ul_teid

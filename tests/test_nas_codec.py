@@ -1,0 +1,119 @@
+"""Tests for the NAS byte codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ran import ngap
+from repro.ran.nas_codec import (
+    EPD_5GMM,
+    EPD_5GSM,
+    NASCodecError,
+    decode_nas,
+    encode_nas,
+)
+
+ROUNDTRIP_MESSAGES = [
+    ngap.RegistrationRequest(supi="imsi-208930000000003"),
+    ngap.RegistrationAccept(guti="5g-guti-20893cafe0000000042"),
+    ngap.RegistrationComplete(),
+    ngap.AuthenticationRequest(rand="ab" * 16, autn="cd" * 16),
+    ngap.AuthenticationResponse(res_star="ef" * 16),
+    ngap.SecurityModeCommand(ciphering="NEA2", integrity="NIA2"),
+    ngap.SecurityModeComplete(),
+    ngap.ServiceRequest(service_type="mobile-terminated-services"),
+    ngap.ServiceAccept(),
+    ngap.PDUSessionEstablishmentRequest(pdu_session_id=5, dnn="ims"),
+    ngap.PDUSessionEstablishmentAccept(pdu_session_id=5, ue_ip="10.60.0.9"),
+]
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "message", ROUNDTRIP_MESSAGES, ids=lambda m: type(m).__name__
+    )
+    def test_roundtrip(self, message):
+        decoded = decode_nas(encode_nas(message))
+        assert type(decoded) is type(message)
+
+    def test_registration_fields(self):
+        message = ngap.RegistrationRequest(
+            supi="imsi-1", suci="suci-0-208-93-0000-0-0-0000000001",
+            registration_type="mobility",
+        )
+        decoded = decode_nas(encode_nas(message))
+        assert decoded.supi == "imsi-1"
+        assert decoded.suci == message.suci
+        assert decoded.registration_type == "mobility"
+
+    def test_authentication_fields(self):
+        message = ngap.AuthenticationRequest(rand="00ff" * 8, autn="11ee" * 8)
+        decoded = decode_nas(encode_nas(message))
+        assert decoded.rand == message.rand
+        assert decoded.autn == message.autn
+
+    def test_pdu_session_fields(self):
+        message = ngap.PDUSessionEstablishmentAccept(
+            pdu_session_id=9, ue_ip="10.60.1.2"
+        )
+        decoded = decode_nas(encode_nas(message))
+        assert decoded.pdu_session_id == 9
+        assert decoded.ue_ip == "10.60.1.2"
+
+    def test_epd_split(self):
+        mm = encode_nas(ngap.ServiceRequest())
+        sm = encode_nas(ngap.PDUSessionEstablishmentRequest())
+        assert mm[0] == EPD_5GMM
+        assert sm[0] == EPD_5GSM
+
+
+class TestErrors:
+    def test_unknown_message_class(self):
+        with pytest.raises(NASCodecError):
+            encode_nas(ngap.NASMessage())
+
+    def test_truncated_header(self):
+        with pytest.raises(NASCodecError):
+            decode_nas(b"\x7e")
+
+    def test_unknown_type(self):
+        with pytest.raises(NASCodecError):
+            decode_nas(b"\x7e\x00\xff")
+
+    def test_truncated_ie(self):
+        raw = encode_nas(ngap.RegistrationAccept())
+        with pytest.raises(NASCodecError):
+            decode_nas(raw[:-1])
+
+    @given(st.binary(max_size=64))
+    def test_decode_never_crashes_unexpectedly(self, data):
+        """Arbitrary bytes either decode or raise NASCodecError."""
+        try:
+            decode_nas(data)
+        except NASCodecError:
+            pass
+
+
+class TestFuzzRoundtrip:
+    @given(
+        st.text(max_size=40),
+        st.text(max_size=40),
+        st.sampled_from(["initial", "mobility", "periodic"]),
+    )
+    def test_registration_roundtrip_property(self, supi, suci, reg_type):
+        message = ngap.RegistrationRequest(
+            supi=supi, suci=suci, registration_type=reg_type
+        )
+        decoded = decode_nas(encode_nas(message))
+        assert decoded.supi == supi
+        assert decoded.suci == suci
+        assert decoded.registration_type == reg_type
+
+    @given(st.integers(min_value=0, max_value=255), st.text(max_size=20))
+    def test_pdu_request_roundtrip_property(self, session_id, dnn):
+        message = ngap.PDUSessionEstablishmentRequest(
+            pdu_session_id=session_id, dnn=dnn
+        )
+        decoded = decode_nas(encode_nas(message))
+        assert decoded.pdu_session_id == session_id
+        assert decoded.dnn == dnn

@@ -1,0 +1,124 @@
+"""Tests for GTP-U encapsulation (the N3 tunnel codec)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import GTPU_PORT, GTPUHeader, decapsulate, encapsulate
+from repro.net.gtp import MSG_ECHO_REQUEST, MSG_END_MARKER, MSG_GPDU
+
+
+class TestGTPUHeader:
+    def test_minimal_roundtrip(self):
+        header = GTPUHeader(teid=0xDEADBEEF, length=100)
+        decoded, rest = GTPUHeader.unpack(header.pack() + b"\x01" * 100)
+        assert decoded.teid == 0xDEADBEEF
+        assert decoded.length == 100
+        assert decoded.qfi is None
+        assert len(rest) == 100
+
+    def test_qfi_extension_roundtrip(self):
+        header = GTPUHeader(teid=7, length=64, qfi=9, pdu_type=0)
+        decoded, _ = GTPUHeader.unpack(header.pack() + b"\x00" * 64)
+        assert decoded.qfi == 9
+        assert decoded.pdu_type == 0
+        assert decoded.teid == 7
+        assert decoded.length == 64
+
+    def test_uplink_pdu_type(self):
+        header = GTPUHeader(teid=7, length=0, qfi=5, pdu_type=1)
+        decoded, _ = GTPUHeader.unpack(header.pack())
+        assert decoded.pdu_type == 1
+
+    def test_sequence_number_roundtrip(self):
+        header = GTPUHeader(teid=1, length=0, sequence=4242)
+        decoded, _ = GTPUHeader.unpack(header.pack())
+        assert decoded.sequence == 4242
+
+    def test_message_types(self):
+        for message_type in (MSG_GPDU, MSG_ECHO_REQUEST, MSG_END_MARKER):
+            header = GTPUHeader(teid=1, message_type=message_type)
+            decoded, _ = GTPUHeader.unpack(header.pack())
+            assert decoded.message_type == message_type
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            GTPUHeader.unpack(b"\x30\xff\x00")
+
+    def test_wrong_version_raises(self):
+        raw = bytearray(GTPUHeader(teid=1).pack())
+        raw[0] = 0x50  # version 2
+        with pytest.raises(ValueError):
+            GTPUHeader.unpack(bytes(raw))
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=63),
+    )
+    def test_roundtrip_property(self, teid, qfi):
+        header = GTPUHeader(teid=teid, length=0, qfi=qfi)
+        decoded, _ = GTPUHeader.unpack(header.pack())
+        assert decoded.teid == teid
+        assert decoded.qfi == qfi
+
+
+class TestEncapsulation:
+    def _inner(self) -> bytes:
+        from repro.net import FiveTuple, Packet
+
+        packet = Packet(
+            size=200,
+            flow=FiveTuple(
+                src_ip=0x0A3C0001,
+                dst_ip=0x08080808,
+                src_port=40000,
+                dst_port=443,
+            ),
+        )
+        return packet.to_bytes()
+
+    def test_full_roundtrip(self):
+        inner = self._inner()
+        outer = encapsulate(
+            inner,
+            teid=0x1234,
+            outer_src=0xC0A80102,
+            outer_dst=0xC0A80201,
+            qfi=9,
+        )
+        gtp, recovered = decapsulate(outer)
+        assert recovered == inner
+        assert gtp.teid == 0x1234
+        assert gtp.qfi == 9
+
+    def test_outer_headers_well_formed(self):
+        from repro.net import IPv4Header, UDPHeader
+
+        inner = self._inner()
+        outer = encapsulate(inner, teid=1, outer_src=10, outer_dst=20)
+        ip, rest = IPv4Header.unpack(outer)
+        assert (ip.src, ip.dst) == (10, 20)
+        udp, _ = UDPHeader.unpack(rest)
+        assert udp.dst_port == GTPU_PORT
+
+    def test_decapsulate_non_gtp_raises(self):
+        from repro.net import IPv4Header, UDPHeader
+
+        udp = UDPHeader(src_port=53, dst_port=53)
+        payload = udp.pack(b"dns", 1, 2) + b"dns"
+        ip = IPv4Header(src=1, dst=2, total_length=20 + len(payload))
+        with pytest.raises(ValueError):
+            decapsulate(ip.pack() + payload)
+
+    def test_non_gpdu_yields_empty_payload(self):
+        from repro.net.gtp import GTPUHeader
+        from repro.net.headers import IPv4Header, UDPHeader
+
+        gtp = GTPUHeader(teid=5, message_type=MSG_END_MARKER, length=0)
+        gtp_bytes = gtp.pack()
+        udp = UDPHeader(src_port=GTPU_PORT, dst_port=GTPU_PORT)
+        payload = udp.pack(gtp_bytes, 1, 2) + gtp_bytes
+        ip = IPv4Header(src=1, dst=2, total_length=20 + len(payload))
+        header, inner = decapsulate(ip.pack() + payload)
+        assert header.message_type == MSG_END_MARKER
+        assert inner == b""

@@ -1,0 +1,148 @@
+"""Tests for the byte-level protocol header codecs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import (
+    PROTO_TCP,
+    PROTO_UDP,
+    EthernetHeader,
+    IPv4Header,
+    TCPHeader,
+    UDPHeader,
+    internet_checksum,
+)
+
+
+class TestChecksum:
+    def test_rfc1071_example(self):
+        # Classic example from RFC 1071 materials.
+        data = bytes(
+            [0x00, 0x01, 0xF2, 0x03, 0xF4, 0xF5, 0xF6, 0xF7]
+        )
+        assert internet_checksum(data) == 0x220D
+
+    def test_checksum_of_data_plus_checksum_is_zero(self):
+        data = b"some packet data!"
+        checksum = internet_checksum(data)
+        padded = data + b"\x00"  # odd length pads with zero
+        combined = padded + checksum.to_bytes(2, "big")
+        assert internet_checksum(combined) == 0
+
+    def test_empty(self):
+        assert internet_checksum(b"") == 0xFFFF
+
+
+class TestEthernet:
+    def test_roundtrip(self):
+        header = EthernetHeader(
+            src="02:aa:bb:cc:dd:01", dst="02:aa:bb:cc:dd:02"
+        )
+        decoded, rest = EthernetHeader.unpack(header.pack() + b"payload")
+        assert decoded.src == header.src
+        assert decoded.dst == header.dst
+        assert rest == b"payload"
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            EthernetHeader.unpack(b"\x00" * 5)
+
+    def test_bad_mac_raises(self):
+        with pytest.raises(ValueError):
+            EthernetHeader(src="not-a-mac").pack()
+
+
+class TestIPv4:
+    def test_roundtrip(self):
+        header = IPv4Header(
+            src=0x0A000001,
+            dst=0x0A000002,
+            protocol=PROTO_UDP,
+            total_length=40,
+            ttl=61,
+            dscp=10,
+        )
+        decoded, rest = IPv4Header.unpack(header.pack() + b"xx")
+        assert decoded.src == header.src
+        assert decoded.dst == header.dst
+        assert decoded.protocol == PROTO_UDP
+        assert decoded.ttl == 61
+        assert decoded.dscp == 10
+        assert rest == b"xx"
+
+    def test_checksum_validated(self):
+        raw = bytearray(IPv4Header(src=1, dst=2).pack())
+        raw[8] ^= 0xFF  # corrupt the TTL
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(raw))
+
+    def test_not_ipv4_raises(self):
+        raw = bytearray(IPv4Header().pack())
+        raw[0] = (6 << 4) | 5
+        with pytest.raises(ValueError):
+            IPv4Header.unpack(bytes(raw))
+
+    @given(
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+        st.integers(min_value=0, max_value=0xFFFFFFFF),
+    )
+    def test_roundtrip_random_addresses(self, src, dst):
+        header = IPv4Header(src=src, dst=dst)
+        decoded, _ = IPv4Header.unpack(header.pack())
+        assert (decoded.src, decoded.dst) == (src, dst)
+
+
+class TestUDP:
+    def test_roundtrip(self):
+        payload = b"hello world"
+        header = UDPHeader(src_port=2152, dst_port=2152)
+        raw = header.pack(payload, 1, 2) + payload
+        decoded, rest = UDPHeader.unpack(raw)
+        assert decoded.src_port == 2152
+        assert decoded.length == 8 + len(payload)
+        assert rest == payload
+
+    def test_checksum_never_zero(self):
+        # A computed zero checksum must be transmitted as 0xFFFF.
+        header = UDPHeader(src_port=0, dst_port=0)
+        raw = header.pack(b"", 0, 0)
+        checksum = int.from_bytes(raw[6:8], "big")
+        assert checksum != 0
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            UDPHeader.unpack(b"\x00" * 4)
+
+
+class TestTCP:
+    def test_roundtrip(self):
+        header = TCPHeader(
+            src_port=443,
+            dst_port=51000,
+            seq=12345,
+            ack=67890,
+            flags=TCPHeader.FLAG_ACK | TCPHeader.FLAG_PSH,
+            window=2048,
+        )
+        decoded, rest = TCPHeader.unpack(header.pack(b"abc", 9, 10) + b"abc")
+        assert decoded.src_port == 443
+        assert decoded.seq == 12345
+        assert decoded.ack == 67890
+        assert decoded.flags == TCPHeader.FLAG_ACK | TCPHeader.FLAG_PSH
+        assert decoded.window == 2048
+        assert rest == b"abc"
+
+    def test_flag_constants_distinct(self):
+        flags = {
+            TCPHeader.FLAG_FIN,
+            TCPHeader.FLAG_SYN,
+            TCPHeader.FLAG_RST,
+            TCPHeader.FLAG_PSH,
+            TCPHeader.FLAG_ACK,
+        }
+        assert len(flags) == 5
+
+    def test_truncated(self):
+        with pytest.raises(ValueError):
+            TCPHeader.unpack(b"\x00" * 10)

@@ -1,0 +1,203 @@
+"""Tests for non-3GPP access: N3IWF, EAP-AKA', and the procedures."""
+
+import pytest
+
+from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
+from repro.cp.nfs import AUSF, UDM
+from repro.net import Direction, FiveTuple, Packet
+from repro.ran import N3IWF, RMState, UserEquipment
+from repro.ran.n3iwf import ESP_OVERHEAD
+from repro.sim import Environment
+
+
+class TestEapAkaPrime:
+    KEY = "465b5ce8b199b49faa5f0a2ee238a6bc"
+    NETWORK = "5G:NR:non3gpp"
+
+    def test_challenge_deterministic_and_network_bound(self):
+        ausf = AUSF()
+        a = ausf.eap_aka_prime_challenge("imsi-1", self.NETWORK, self.KEY)
+        b = AUSF().eap_aka_prime_challenge("imsi-1", self.NETWORK, self.KEY)
+        assert a == b
+        other = AUSF().eap_aka_prime_challenge(
+            "imsi-1", "5G:NR:other-net", self.KEY
+        )
+        # CK'/IK' bind the access network name: different network,
+        # different key material.
+        assert other.kausf != a.kausf
+
+    def test_confirm_success_and_consumption(self):
+        import hashlib
+
+        ausf = AUSF()
+        vector = ausf.eap_aka_prime_challenge(
+            "imsi-1", self.NETWORK, self.KEY
+        )
+        response = hashlib.sha256(
+            "|".join(
+                ["at-res", self.KEY, vector.rand, self.NETWORK]
+            ).encode()
+        ).hexdigest()[:32]
+        kseaf = ausf.eap_aka_prime_confirm(
+            "imsi-1", response, self.NETWORK, self.KEY
+        )
+        assert kseaf is not None
+        assert (
+            ausf.eap_aka_prime_confirm(
+                "imsi-1", response, self.NETWORK, self.KEY
+            )
+            is None
+        )
+
+    def test_confirm_wrong_response(self):
+        ausf = AUSF()
+        ausf.eap_aka_prime_challenge("imsi-1", self.NETWORK, self.KEY)
+        assert (
+            ausf.eap_aka_prime_confirm(
+                "imsi-1", "bogus", self.NETWORK, self.KEY
+            )
+            is None
+        )
+
+    def test_independent_from_5g_aka(self):
+        """EAP and 5G-AKA contexts do not collide for the same SUPI."""
+        ausf = AUSF()
+        ausf.challenge("imsi-1", self.NETWORK, self.KEY)
+        ausf.eap_aka_prime_challenge("imsi-1", self.NETWORK, self.KEY)
+        assert "imsi-1" in ausf.pending
+        assert "eap:imsi-1" in ausf.pending
+
+
+class TestN3IWF:
+    def _n3iwf_and_ue(self):
+        env = Environment()
+        n3iwf = N3IWF(env, n3iwf_id=100, address=50, wifi_latency=0.002)
+        ue = UserEquipment("imsi-n3-1")
+        ue.register(100, "guti")
+        return env, n3iwf, ue
+
+    def test_signalling_then_child_sa(self):
+        env, n3iwf, ue = self._n3iwf_and_ue()
+        signalling = n3iwf.establish_signalling_sa(ue)
+        child = n3iwf.establish_child_sa(ue, pdu_session_id=1)
+        assert signalling.spi != child.spi
+        assert n3iwf.sa_for(ue.supi, None) is signalling
+        assert n3iwf.sa_for(ue.supi, 1) is child
+
+    def test_child_sa_requires_signalling(self):
+        env, n3iwf, ue = self._n3iwf_and_ue()
+        with pytest.raises(RuntimeError):
+            n3iwf.establish_child_sa(ue, 1)
+
+    def test_downlink_adds_esp_and_wifi_latency(self):
+        env, n3iwf, ue = self._n3iwf_and_ue()
+        n3iwf.establish_signalling_sa(ue)
+        n3iwf.establish_child_sa(ue, 1)
+        packet = Packet(size=200, created_at=env.now)
+        n3iwf.receive_downlink(packet, ue)
+        env.run()
+        assert len(ue.received) == 1
+        assert ue.received[0].size == 200 + ESP_OVERHEAD
+        assert ue.received[0].latency >= 0.002
+
+    def test_downlink_without_sa_dropped(self):
+        env, n3iwf, ue = self._n3iwf_and_ue()
+        n3iwf.receive_downlink(Packet(), ue)
+        env.run()
+        assert n3iwf.dropped == 1
+        assert ue.received == []
+
+    def test_release_tears_down_all_sas(self):
+        env, n3iwf, ue = self._n3iwf_and_ue()
+        n3iwf.establish_signalling_sa(ue)
+        n3iwf.establish_child_sa(ue, 1)
+        assert n3iwf.release_ue(ue) == 2
+        assert n3iwf.sa_for(ue.supi, None) is None
+        assert not n3iwf.is_connected(ue)
+
+    def test_uplink_strips_esp(self):
+        env, n3iwf, ue = self._n3iwf_and_ue()
+        forwarded = []
+        n3iwf.send_uplink(
+            Packet(size=300 + ESP_OVERHEAD), forwarded.append
+        )
+        env.run()
+        assert forwarded[0].size == 300
+
+
+class TestNon3gppProcedures:
+    def _core(self):
+        env = Environment()
+        core = FiveGCore(env, SystemConfig.l25gc())
+        n3iwf = core.add_n3iwf(100)
+        n3iwf.wifi_latency = 0.0  # zeroed for base-RTT style checks
+        runner = ProcedureRunner(core)
+        ue = core.add_ue("imsi-208930000007001")
+        return env, core, runner, ue, n3iwf
+
+    def test_registration_via_n3iwf(self):
+        env, core, runner, ue, n3iwf = self._core()
+        results = []
+
+        def scenario():
+            results.append(
+                (yield from runner.register_ue_non3gpp(ue, n3iwf_id=100))
+            )
+
+        env.process(scenario())
+        env.run()
+        assert ue.rm_state is RMState.REGISTERED
+        assert ue.serving_gnb_id == 100
+        assert n3iwf.sa_for(ue.supi, None) is not None
+        assert results[0].event == "registration-non3gpp"
+
+    def test_duplicate_ran_node_id_rejected(self):
+        env = Environment()
+        core = FiveGCore(env, SystemConfig.l25gc())
+        with pytest.raises(ValueError):
+            core.add_n3iwf(1)  # collides with gNB 1
+
+    def test_session_and_data_over_ipsec(self):
+        env, core, runner, ue, n3iwf = self._core()
+        detail = {}
+
+        def scenario():
+            yield from runner.register_ue_non3gpp(ue, n3iwf_id=100)
+            result = yield from runner.establish_session_non3gpp(ue)
+            detail.update(result.detail)
+
+        env.process(scenario())
+        env.run()
+        assert "child_spi" in detail
+        core.inject_downlink(
+            Packet(
+                direction=Direction.DOWNLINK,
+                size=200,
+                flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                               src_port=80, dst_port=4000),
+                created_at=env.now,
+            )
+        )
+        env.run()
+        assert len(ue.received) == 1
+        assert ue.received[0].meta["esp_spi"] == detail["child_spi"]
+        assert ue.received[0].size == 200 + ESP_OVERHEAD
+
+    def test_non3gpp_slower_than_3gpp_registration(self):
+        """The WiFi leg + EAP round trips cost more than NR access."""
+        env, core, runner, ue, n3iwf = self._core()
+        n3iwf.wifi_latency = 0.004
+        durations = {}
+
+        def scenario():
+            result = yield from runner.register_ue_non3gpp(
+                ue, n3iwf_id=100
+            )
+            durations["non3gpp"] = result.duration
+            other = core.add_ue("imsi-208930000007002")
+            result = yield from runner.register_ue(other, gnb_id=1)
+            durations["3gpp"] = result.duration
+
+        env.process(scenario())
+        env.run()
+        assert durations["non3gpp"] > durations["3gpp"]

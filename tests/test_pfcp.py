@@ -1,0 +1,224 @@
+"""Tests for the PFCP (N4) TLV codecs, messages, and builders."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pfcp import (
+    ACCESS,
+    ACTION_BUFF,
+    ACTION_FORW,
+    ACTION_NOCP,
+    CAUSE_ACCEPTED,
+    CORE,
+    AssociationSetupRequest,
+    HeartbeatRequest,
+    PFCPHeader,
+    SessionEstablishmentRequest,
+    SessionModificationRequest,
+    SessionReportRequest,
+    build_buffering_update,
+    build_downlink_report,
+    build_forward_update,
+    build_path_switch,
+    build_session_establishment,
+    decode_ies,
+    decode_message,
+    encode_ies,
+    ies,
+)
+
+
+class TestHeader:
+    def test_session_header_roundtrip(self):
+        header = PFCPHeader(message_type=52, seid=0xABCDEF, sequence=777)
+        decoded, rest = PFCPHeader.unpack(header.pack(0))
+        assert decoded.message_type == 52
+        assert decoded.seid == 0xABCDEF
+        assert decoded.sequence == 777
+        assert rest == b""
+
+    def test_node_header_has_no_seid(self):
+        header = PFCPHeader(message_type=1, seid=None, sequence=3)
+        raw = header.pack(0)
+        decoded, _ = PFCPHeader.unpack(raw)
+        assert decoded.seid is None
+        assert len(raw) == 8
+
+    def test_truncated_raises(self):
+        with pytest.raises(ValueError):
+            PFCPHeader.unpack(b"\x21\x34")
+
+    def test_wrong_version_raises(self):
+        raw = bytearray(PFCPHeader(message_type=1).pack(0))
+        raw[0] = 0x40
+        with pytest.raises(ValueError):
+            PFCPHeader.unpack(bytes(raw))
+
+
+class TestScalarIEs:
+    @pytest.mark.parametrize(
+        "ie",
+        [
+            ies.CauseIE(cause=CAUSE_ACCEPTED),
+            ies.NodeIdIE(address=0xC0A80101),
+            ies.FSeidIE(seid=99, address=0x0A000001),
+            ies.PdrIdIE(rule_id=12),
+            ies.FarIdIE(rule_id=3),
+            ies.QerIdIE(rule_id=4),
+            ies.PrecedenceIE(precedence=255),
+            ies.SourceInterfaceIE(interface=CORE),
+            ies.DestinationInterfaceIE(interface=ACCESS),
+            ies.FTeidIE(teid=0xDEAD, address=7, choose=False),
+            ies.FTeidIE(teid=0, address=7, choose=True),
+            ies.UeIpAddressIE(address=5, source_or_destination=1),
+            ies.NetworkInstanceIE(instance="internet"),
+            ies.QfiIE(qfi=9),
+            ies.ApplyActionIE(flags=ACTION_FORW | ACTION_BUFF),
+            ies.OuterHeaderCreationIE(teid=1, address=2),
+            ies.OuterHeaderRemovalIE(),
+            ies.ReportTypeIE(dldr=True),
+        ],
+        ids=lambda ie: type(ie).__name__,
+    )
+    def test_roundtrip(self, ie):
+        decoded = decode_ies(ie.encode())
+        assert len(decoded) == 1
+        assert decoded[0] == ie
+
+    def test_sdf_filter_full_roundtrip(self):
+        sdf = ies.SdfFilterIE(
+            flow_description="permit out 17 from 8.8.8.8 to assigned",
+            tos=0x2800,
+            spi=12345,
+            flow_label=0x0ABCD,
+            filter_id=42,
+        )
+        (decoded,) = decode_ies(sdf.encode())
+        assert decoded == sdf
+
+    def test_apply_action_flags(self):
+        action = ies.ApplyActionIE(flags=ACTION_BUFF | ACTION_NOCP)
+        assert action.buffer and action.notify_cp
+        assert not action.forward and not action.drop
+
+    def test_unknown_ie_skipped(self):
+        unknown = (60000).to_bytes(2, "big") + (2).to_bytes(2, "big") + b"xy"
+        known = ies.PdrIdIE(rule_id=5).encode()
+        decoded = decode_ies(unknown + known)
+        assert len(decoded) == 1
+        assert decoded[0].rule_id == 5
+
+    def test_truncated_body_raises(self):
+        raw = ies.PdrIdIE(rule_id=5).encode()[:-1]
+        with pytest.raises(ValueError):
+            decode_ies(raw)
+
+
+class TestGroupedIEs:
+    def test_nested_roundtrip(self):
+        pdi = ies.PdiIE(
+            children=[
+                ies.SourceInterfaceIE(interface=ACCESS),
+                ies.FTeidIE(teid=0x100, address=1),
+            ]
+        )
+        create = ies.CreatePdrIE(
+            children=[ies.PdrIdIE(rule_id=1), pdi, ies.FarIdIE(rule_id=2)]
+        )
+        (decoded,) = decode_ies(create.encode())
+        assert isinstance(decoded, ies.CreatePdrIE)
+        nested = decoded.child(ies.PdiIE)
+        assert nested.child(ies.FTeidIE).teid == 0x100
+
+    def test_children_of(self):
+        group = ies.CreateFarIE(
+            children=[ies.FarIdIE(rule_id=1), ies.FarIdIE(rule_id=2)]
+        )
+        assert len(group.children_of(ies.FarIdIE)) == 2
+
+
+class TestMessages:
+    def test_establishment_roundtrip(self):
+        message = build_session_establishment(
+            seid=4,
+            sequence=9,
+            ue_ip=0x0A3C0002,
+            upf_address=1,
+            ul_teid=0x40,
+            gnb_address=2,
+            dl_teid=0x41,
+        )
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, SessionEstablishmentRequest)
+        assert decoded.seid == 4 and decoded.sequence == 9
+        assert len(decoded.find_all(ies.CreatePdrIE)) == 2
+        assert len(decoded.find_all(ies.CreateFarIE)) == 2
+
+    def test_node_message_roundtrip(self):
+        decoded = decode_message(AssociationSetupRequest(sequence=1).encode())
+        assert isinstance(decoded, AssociationSetupRequest)
+
+    def test_unknown_message_type_raises(self):
+        raw = bytearray(HeartbeatRequest().encode())
+        raw[1] = 250
+        with pytest.raises(ValueError):
+            decode_message(bytes(raw))
+
+    def test_handler_times_ordering(self):
+        """Establishment > modification > report (rule-install work)."""
+        assert (
+            SessionEstablishmentRequest.HANDLER_TIME
+            > SessionModificationRequest.HANDLER_TIME
+            > SessionReportRequest.HANDLER_TIME
+        )
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=2**24 - 1),
+    )
+    def test_header_roundtrip_property(self, seid, sequence):
+        header = PFCPHeader(message_type=52, seid=seid, sequence=sequence)
+        decoded, _ = PFCPHeader.unpack(header.pack(0))
+        assert decoded.seid == seid and decoded.sequence == sequence
+
+
+class TestBuilders:
+    def test_buffering_update_piggybacks_choose(self):
+        """§3.3: the buffering IE rides the TEID-allocation message."""
+        message = build_buffering_update(
+            seid=1, sequence=2, notify_cp=True,
+            choose_new_teid=True, upf_address=9,
+        )
+        decoded = decode_message(message.encode())
+        far = decoded.find(ies.UpdateFarIE)
+        action = far.child(ies.ApplyActionIE)
+        assert action.buffer and action.notify_cp
+        fteid = decoded.find(ies.FTeidIE)
+        assert fteid is not None and fteid.choose
+
+    def test_path_switch_targets_new_gnb(self):
+        message = build_path_switch(
+            seid=1, sequence=2, new_gnb_address=0xC0A80202,
+            new_dl_teid=0x777,
+        )
+        far = message.find(ies.UpdateFarIE)
+        params = far.child(ies.ForwardingParametersIE)
+        outer = params.child(ies.OuterHeaderCreationIE)
+        assert outer.teid == 0x777
+        assert outer.address == 0xC0A80202
+        assert far.child(ies.ApplyActionIE).forward
+
+    def test_forward_update_is_path_switch(self):
+        message = build_forward_update(
+            seid=1, sequence=2, gnb_address=5, dl_teid=6
+        )
+        assert message.find(ies.UpdateFarIE) is not None
+
+    def test_downlink_report(self):
+        message = build_downlink_report(seid=3, sequence=4)
+        decoded = decode_message(message.encode())
+        assert isinstance(decoded, SessionReportRequest)
+        assert decoded.find(ies.ReportTypeIE).dldr
+        report = decoded.find(ies.DownlinkDataReportIE)
+        assert report.child(ies.PdrIdIE).rule_id == 2

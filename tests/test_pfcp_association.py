@@ -1,0 +1,161 @@
+"""Tests for PFCP association setup and heartbeats."""
+
+import pytest
+
+from repro.pfcp import (
+    AssociationManager,
+    AssociationState,
+    AssociationSetupRequest,
+    HeartbeatRequest,
+    HeartbeatResponse,
+)
+from repro.pfcp.ies import CauseIE, NodeIdIE
+from repro.sim import MS, Environment
+
+
+def wire(env, cp_address=1, up_address=2, up_reachable=None):
+    """A CP and UP manager joined by a tiny request/response shim."""
+    up = AssociationManager(env, node_address=up_address)
+    reachable = up_reachable if up_reachable is not None else {"up": True}
+
+    def transport(peer, message):
+        done = env.event()
+
+        def deliver():
+            yield env.timeout(0.5 * MS)
+            if not reachable["up"]:
+                done.succeed(None)
+                return
+            if isinstance(message, AssociationSetupRequest):
+                response = up.handle_setup_request(message)
+            elif isinstance(message, HeartbeatRequest):
+                response = up.handle_heartbeat(message)
+            else:
+                response = None
+            yield env.timeout(0.5 * MS)
+            done.succeed(response)
+
+        env.process(deliver())
+        return done
+
+    cp = AssociationManager(env, node_address=cp_address, send=transport)
+    return cp, up, reachable
+
+
+class TestSetup:
+    def test_establishment(self):
+        env = Environment()
+        cp, up, _ = wire(env)
+        outcome = {}
+
+        def scenario():
+            association = yield from cp.establish(peer_address=2)
+            outcome["association"] = association
+
+        env.process(scenario())
+        env.run()
+        association = outcome["association"]
+        assert association.state is AssociationState.ESTABLISHED
+        assert cp.is_established(2)
+        # The UP side learned the CP's node id too.
+        assert 1 in up.associations
+
+    def test_unreachable_peer(self):
+        env = Environment()
+        cp, up, reachable = wire(env)
+        reachable["up"] = False
+        outcome = {}
+
+        def scenario():
+            association = yield from cp.establish(peer_address=2)
+            outcome["association"] = association
+
+        env.process(scenario())
+        env.run()
+        assert outcome["association"].state is AssociationState.DOWN
+        assert not cp.is_established(2)
+
+    def test_setup_without_node_id_rejected(self):
+        env = Environment()
+        up = AssociationManager(env, node_address=2)
+        response = up.handle_setup_request(
+            AssociationSetupRequest(sequence=1)
+        )
+        assert not response.find(CauseIE).accepted
+
+
+class TestHeartbeats:
+    def test_heartbeats_flow(self):
+        env = Environment()
+        cp, up, _ = wire(env)
+
+        def scenario():
+            yield from cp.establish(peer_address=2)
+            cp.start_heartbeats(2)
+
+        env.process(scenario())
+        env.run(until=1.0)
+        association = cp.associations[2]
+        assert association.heartbeats_sent >= 8
+        assert association.heartbeats_received == association.heartbeats_sent
+        assert association.state is AssociationState.ESTABLISHED
+
+    def test_missed_heartbeats_mark_down(self):
+        env = Environment()
+        cp, up, reachable = wire(env)
+        down_events = []
+        cp.peer_down_listeners.append(
+            lambda association: down_events.append(env.now)
+        )
+
+        def scenario():
+            yield from cp.establish(peer_address=2)
+            cp.start_heartbeats(2)
+            yield env.timeout(300 * MS)
+            reachable["up"] = False
+
+        env.process(scenario())
+        env.run(until=2.0)
+        association = cp.associations[2]
+        assert association.state is AssociationState.DOWN
+        assert len(down_events) == 1
+        # Detection within miss_threshold heartbeat intervals.
+        assert down_events[0] <= 0.3 + 4 * cp.heartbeat_interval
+
+    def test_heartbeat_response_echoes_sequence(self):
+        env = Environment()
+        up = AssociationManager(env, node_address=2)
+        response = up.handle_heartbeat(HeartbeatRequest(sequence=42))
+        assert isinstance(response, HeartbeatResponse)
+        assert response.sequence == 42
+
+
+class TestRestartDetection:
+    def test_newer_recovery_timestamp_flags_restart(self):
+        env = Environment()
+        cp, up, _ = wire(env)
+        restarts = []
+        cp.peer_restart_listeners.append(
+            lambda association: restarts.append(association.peer_address)
+        )
+
+        def scenario():
+            yield from cp.establish(peer_address=2)
+
+        env.process(scenario())
+        env.run()
+        assert not cp.observe_recovery_timestamp(2, timestamp=5)
+        assert not cp.observe_recovery_timestamp(2, timestamp=5)
+        assert cp.observe_recovery_timestamp(2, timestamp=9)
+        assert restarts == [2]
+        assert cp.associations[2].state is AssociationState.DOWN
+
+    def test_unknown_peer_ignored(self):
+        env = Environment()
+        cp, _, _ = wire(env)
+        assert not cp.observe_recovery_timestamp(99, timestamp=1)
+
+    def test_invalid_threshold(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            AssociationManager(env, node_address=1, miss_threshold=0)

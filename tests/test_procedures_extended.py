@@ -1,0 +1,196 @@
+"""Tests for the extended procedures: Xn handover, deregistration,
+GTP end markers, and the scalability ablations."""
+
+import pytest
+
+from repro.cp import FiveGCore, HOState, ProcedureRunner, SystemConfig
+from repro.experiments.scalability import (
+    classifier_ablation,
+    session_scale_sweep,
+)
+from repro.net import Direction, FiveTuple, Packet
+from repro.ran import RMState
+from repro.sim import Environment
+
+
+def connected_ue(config=None):
+    env = Environment()
+    core = FiveGCore(env, config or SystemConfig.l25gc())
+    runner = ProcedureRunner(core)
+    ue = core.add_ue("imsi-208930000008001")
+    detail = {}
+
+    def setup():
+        yield from runner.register_ue(ue, gnb_id=1)
+        result = yield from runner.establish_session(ue)
+        detail.update(result.detail)
+
+    env.process(setup())
+    env.run()
+    return env, core, runner, ue, detail
+
+
+class TestXnHandover:
+    def test_moves_ue_and_path(self):
+        env, core, runner, ue, detail = connected_ue()
+        results = []
+
+        def scenario():
+            results.append(
+                (yield from runner.xn_handover(ue, target_gnb_id=2))
+            )
+
+        env.process(scenario())
+        env.run()
+        assert ue.serving_gnb_id == 2
+        sm = core.smf.context_for(ue.supi, 1)
+        assert sm.gnb_address == core.gnbs[2].address
+        # Data follows.
+        core.inject_downlink(
+            Packet(direction=Direction.DOWNLINK,
+                   flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                                  src_port=80, dst_port=4000),
+                   created_at=env.now)
+        )
+        env.run()
+        assert core.gnbs[2].delivered == 1
+
+    def test_far_fewer_core_messages_than_n2(self):
+        """Xn preparation bypasses the core: only the path switch
+        touches AMF/SMF/UPF."""
+        env, core, runner, ue, _ = connected_ue()
+        results = {}
+
+        def scenario():
+            results["xn"] = yield from runner.xn_handover(ue, 2)
+            results["n2"] = yield from runner.handover(ue, 1)
+
+        env.process(scenario())
+        env.run()
+        assert results["xn"].messages < results["n2"].messages / 3
+
+    def test_direct_forwarding_no_loss(self):
+        env, core, runner, ue, detail = connected_ue()
+
+        def traffic():
+            for seq in range(20):
+                core.inject_downlink(
+                    Packet(direction=Direction.DOWNLINK, seq=seq,
+                           flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                                          src_port=80, dst_port=4000),
+                           created_at=env.now)
+                )
+                yield env.timeout(0.01)
+
+        def move():
+            yield env.timeout(0.03)
+            yield from runner.xn_handover(ue, 2)
+
+        env.process(traffic())
+        env.process(move())
+        env.run()
+        assert len(ue.received) == 20
+
+
+class TestEndMarker:
+    def test_end_marker_sent_to_source_gnb(self):
+        env, core, runner, ue, _ = connected_ue()
+        source = core.gnbs[1]
+        markers = []
+        original = source.receive_downlink
+
+        def spy(packet, target_ue):
+            if packet.meta.get("gtp_message") == "end-marker":
+                markers.append(packet)
+            original(packet, target_ue)
+
+        source.receive_downlink = spy
+
+        def scenario():
+            yield from runner.handover(ue, target_gnb_id=2)
+
+        env.process(scenario())
+        env.run()
+        assert len(markers) == 1
+        assert markers[0].teid is not None
+
+
+class TestDeregistration:
+    def test_full_teardown(self):
+        env, core, runner, ue, detail = connected_ue()
+
+        def scenario():
+            yield from runner.deregister_ue(ue)
+
+        env.process(scenario())
+        env.run()
+        assert ue.rm_state is RMState.DEREGISTERED
+        assert len(core.sessions) == 0
+        assert core.ue_ip_pool.in_use == 0
+        assert detail["dl_teid"] not in core.dl_routes
+        assert not core.gnbs[1].is_connected(ue)
+
+    def test_data_stops_after_deregistration(self):
+        env, core, runner, ue, detail = connected_ue()
+
+        def scenario():
+            yield from runner.deregister_ue(ue)
+
+        env.process(scenario())
+        env.run()
+        before = core.upf_u.stats.dropped_no_session
+        core.inject_downlink(
+            Packet(direction=Direction.DOWNLINK,
+                   flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                                  src_port=80, dst_port=4000))
+        )
+        assert core.upf_u.stats.dropped_no_session == before + 1
+
+    def test_released_ip_reused(self):
+        env, core, runner, ue, detail = connected_ue()
+
+        def scenario():
+            yield from runner.deregister_ue(ue)
+            fresh = core.add_ue("imsi-208930000008002")
+            yield from runner.register_ue(fresh, gnb_id=1)
+            result = yield from runner.establish_session(fresh)
+            assert result.detail["ue_ip"] == detail["ue_ip"]
+
+        env.process(scenario())
+        env.run()
+
+
+class TestScalability:
+    def test_per_ue_latency_flat(self):
+        """Control-plane events stay flat as session count grows —
+        sessions are independent (the paper's limitation is in the
+        implementation's session bookkeeping, not the architecture)."""
+        rows = session_scale_sweep(
+            SystemConfig.l25gc(), session_counts=(1, 5, 20)
+        )
+        registrations = [row.mean_registration_s for row in rows]
+        assert max(registrations) < 1.05 * min(registrations)
+        assert rows[-1].upf_sessions == 20
+
+    def test_messages_scale_linearly(self):
+        rows = session_scale_sweep(
+            SystemConfig.l25gc(), session_counts=(2, 10)
+        )
+        per_ue = [row.control_messages / row.sessions for row in rows]
+        assert per_ue[0] == per_ue[1]
+
+    def test_classifier_ablation_shape(self):
+        """The in-UPF version of Fig 11: PS flat, LL linear, with the
+        paper's ~20x advantage at 500 rules/session."""
+        rows = classifier_ablation(
+            rule_counts=(0, 98, 498), lookups=150
+        )
+        by_rules = {row.rules_per_session: row for row in rows}
+        # At 2 rules, LL is competitive (within noise).
+        assert by_rules[2].speedup() < 3.0
+        # At 500, PartitionSort wins big.
+        assert by_rules[500].speedup() > 8.0
+        # PS lookup cost grows sub-linearly.
+        ps_small = by_rules[2].lookup_us["PDR-PS"]
+        ps_large = by_rules[500].lookup_us["PDR-PS"]
+        assert ps_large < 10 * ps_small

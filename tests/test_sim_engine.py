@@ -1,0 +1,302 @@
+"""Tests for the discrete-event simulation engine."""
+
+import pytest
+
+from repro.sim import (
+    MS,
+    US,
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    SimulationError,
+)
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(1.5)
+        env.run()
+        assert env.now == 1.5
+
+    def test_run_until_advances_even_without_events(self):
+        env = Environment()
+        env.run(until=2.0)
+        assert env.now == 2.0
+
+    def test_run_until_past_raises(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_run_until_does_not_process_later_events(self):
+        env = Environment()
+        fired = []
+        env.timeout(5.0).callbacks.append(lambda event: fired.append(1))
+        env.run(until=2.0)
+        assert fired == []
+        assert env.now == 2.0
+
+    def test_unit_constants(self):
+        assert US == pytest.approx(1e-6)
+        assert MS == pytest.approx(1e-3)
+
+
+class TestEvents:
+    def test_succeed_delivers_value(self):
+        env = Environment()
+        event = env.event()
+        seen = []
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed("hello")
+        env.run()
+        assert seen == ["hello"]
+
+    def test_double_trigger_raises(self):
+        env = Environment()
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.event().fail("not an exception")
+
+    def test_unhandled_failure_propagates(self):
+        env = Environment()
+        env.event().fail(ValueError("boom"))
+        with pytest.raises(ValueError):
+            env.run()
+
+    def test_defused_failure_does_not_crash(self):
+        env = Environment()
+        env.event().fail(ValueError("boom")).defused()
+        env.run()  # no raise
+
+    def test_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            _ = env.event().value
+
+    def test_negative_timeout_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_step_with_empty_heap_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+
+class TestProcesses:
+    def test_sequential_timeouts(self):
+        env = Environment()
+        trace = []
+
+        def proc():
+            yield env.timeout(1.0)
+            trace.append(env.now)
+            yield env.timeout(2.0)
+            trace.append(env.now)
+
+        env.process(proc())
+        env.run()
+        assert trace == [1.0, 3.0]
+
+    def test_process_return_value(self):
+        env = Environment()
+
+        def inner():
+            yield env.timeout(1.0)
+            return 42
+
+        def outer():
+            value = yield env.process(inner())
+            return value * 2
+
+        result = env.process(outer())
+        env.run()
+        assert result.value == 84
+
+    def test_yield_from_composition(self):
+        env = Environment()
+
+        def leaf():
+            yield env.timeout(1.0)
+            return "leaf"
+
+        def root():
+            value = yield from leaf()
+            return value + "-root"
+
+        process = env.process(root())
+        env.run()
+        assert process.value == "leaf-root"
+
+    def test_yield_non_event_raises(self):
+        env = Environment()
+
+        def bad():
+            yield 42
+
+        env.process(bad())
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_exception_in_process_fails_it(self):
+        env = Environment()
+
+        def bad():
+            yield env.timeout(1.0)
+            raise RuntimeError("inside")
+
+        def watcher():
+            process = env.process(bad())
+            try:
+                yield process
+            except RuntimeError as exc:
+                return str(exc)
+
+        result = env.process(watcher())
+        env.run()
+        assert result.value == "inside"
+
+    def test_interrupt_wakes_process(self):
+        env = Environment()
+        trace = []
+
+        def sleeper():
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                trace.append((env.now, interrupt.cause))
+
+        process = env.process(sleeper())
+
+        def interrupter():
+            yield env.timeout(1.0)
+            process.interrupt("wake up")
+
+        env.process(interrupter())
+        env.run()
+        assert trace == [(1.0, "wake up")]
+
+    def test_interrupt_finished_process_raises(self):
+        env = Environment()
+
+        def quick():
+            yield env.timeout(0.1)
+
+        process = env.process(quick())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()
+
+    def test_is_alive(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(1.0)
+
+        process = env.process(proc())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_waiting_on_already_processed_event(self):
+        env = Environment()
+        pre = env.timeout(0.0, value="early")
+        env.run()
+        assert pre.processed
+
+        def late():
+            value = yield pre
+            return value
+
+        process = env.process(late())
+        env.run()
+        assert process.value == "early"
+
+
+class TestConditions:
+    def test_all_of_waits_for_all(self):
+        env = Environment()
+
+        def proc():
+            yield env.all_of([env.timeout(1.0), env.timeout(3.0)])
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 3.0
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def proc():
+            yield env.any_of([env.timeout(1.0), env.timeout(3.0)])
+            return env.now
+
+        process = env.process(proc())
+        env.run()
+        assert process.value == 1.0
+
+    def test_and_or_operators(self):
+        env = Environment()
+        both = env.timeout(1.0) & env.timeout(2.0)
+        either = env.timeout(1.0) | env.timeout(2.0)
+        assert isinstance(both, AllOf)
+        assert isinstance(either, AnyOf)
+        env.run()
+        assert both.triggered and either.triggered
+
+    def test_empty_all_of_fires_immediately(self):
+        env = Environment()
+        condition = env.all_of([])
+        assert condition.triggered
+
+
+class TestDeterminism:
+    def test_same_time_events_fire_in_schedule_order(self):
+        env = Environment()
+        order = []
+        for index in range(10):
+            env.timeout(1.0).callbacks.append(
+                lambda event, i=index: order.append(i)
+            )
+        env.run()
+        assert order == list(range(10))
+
+    def test_repeated_runs_identical(self):
+        def run_once():
+            env = Environment()
+            trace = []
+
+            def worker(delay, tag):
+                yield env.timeout(delay)
+                trace.append((env.now, tag))
+                yield env.timeout(delay)
+                trace.append((env.now, tag))
+
+            for index in range(5):
+                env.process(worker(0.1 * (index + 1), index))
+            env.run()
+            return trace
+
+        assert run_once() == run_once()
+
+    def test_peek(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+        env.timeout(4.0)
+        assert env.peek() == 4.0

@@ -1,0 +1,39 @@
+"""Tests for the seeded random stream helper."""
+
+from repro.sim import StreamRNG
+
+
+class TestStreamRNG:
+    def test_same_name_returns_same_stream(self):
+        rng = StreamRNG(1)
+        assert rng.stream("a") is rng.stream("a")
+
+    def test_streams_independent_of_creation_order(self):
+        first = StreamRNG(7)
+        value_a = first.stream("a").random()
+        value_b = first.stream("b").random()
+
+        second = StreamRNG(7)
+        # Access in the opposite order: values must not change.
+        assert second.stream("b").random() == value_b
+        assert second.stream("a").random() == value_a
+
+    def test_different_seeds_differ(self):
+        assert (
+            StreamRNG(1).stream("x").random()
+            != StreamRNG(2).stream("x").random()
+        )
+
+    def test_different_names_differ(self):
+        rng = StreamRNG(3)
+        assert rng.stream("x").random() != rng.stream("y").random()
+
+    def test_fork_is_deterministic(self):
+        a = StreamRNG(5).fork("child").stream("s").random()
+        b = StreamRNG(5).fork("child").stream("s").random()
+        assert a == b
+
+    def test_fork_differs_from_parent(self):
+        parent = StreamRNG(5)
+        child = parent.fork("child")
+        assert parent.stream("s").random() != child.stream("s").random()

@@ -1,0 +1,148 @@
+"""Tests for traffic generation and latency measurement."""
+
+import pytest
+
+from repro.net import FiveTuple, Packet
+from repro.sim import Environment
+from repro.traffic import (
+    ConstantRateGenerator,
+    LatencySeries,
+    percentile,
+    summarize,
+)
+
+
+class TestGenerator:
+    def test_rate_and_count(self):
+        env = Environment()
+        sink = []
+        ConstantRateGenerator(
+            env, sink.append, rate_pps=1000, flow=FiveTuple(), duration=0.1
+        )
+        env.run()
+        assert len(sink) == 100
+        assert sink[0].created_at == 0.0
+        assert sink[1].created_at == pytest.approx(0.001)
+
+    def test_sequence_numbers(self):
+        env = Environment()
+        sink = []
+        ConstantRateGenerator(
+            env, sink.append, rate_pps=100, flow=FiveTuple(), duration=0.05
+        )
+        env.run()
+        assert [packet.seq for packet in sink] == list(range(5))
+
+    def test_start_offset(self):
+        env = Environment()
+        sink = []
+        ConstantRateGenerator(
+            env, sink.append, rate_pps=100, flow=FiveTuple(),
+            start=1.0, duration=0.02,
+        )
+        env.run()
+        assert sink[0].created_at == pytest.approx(1.0)
+
+    def test_stop(self):
+        env = Environment()
+        sink = []
+        generator = ConstantRateGenerator(
+            env, sink.append, rate_pps=100, flow=FiveTuple()
+        )
+
+        def stopper():
+            yield env.timeout(0.05)
+            generator.stop()
+
+        env.process(stopper())
+        env.run()
+        assert 4 <= len(sink) <= 7
+
+    def test_invalid_rate(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            ConstantRateGenerator(env, lambda p: None, rate_pps=0,
+                                  flow=FiveTuple())
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 0.5) == 3
+
+    def test_extremes(self):
+        values = [10, 20, 30]
+        assert percentile(values, 0.0) == 10
+        assert percentile(values, 1.0) == 30
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 0.5) == pytest.approx(5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 1.5)
+
+
+class TestLatencySeries:
+    def _series(self, latencies):
+        series = LatencySeries()
+        for index, latency in enumerate(latencies):
+            packet = Packet(created_at=float(index),
+                            delivered_at=index + latency)
+            series.record_one_way(packet)
+        return series
+
+    def test_rtt_adds_return_path(self):
+        series = self._series([0.001, 0.001, 0.050])
+        # Return path = min one-way = 1 ms; the delayed packet's RTT is
+        # its own one-way plus that.
+        assert max(series.rtts) == pytest.approx(0.051)
+        assert min(series.rtts) == pytest.approx(0.002)
+
+    def test_timeline_sorted(self):
+        series = LatencySeries()
+        series.record(2.0, 0.01)
+        series.record(1.0, 0.02)
+        assert [t for t, _ in series.timeline()] == [1.0, 2.0]
+
+    def test_window(self):
+        series = self._series([0.001] * 10)
+        assert len(series.window(0.0, 5.0)) == 5
+
+    def test_missing_timestamp_raises(self):
+        series = LatencySeries()
+        with pytest.raises(ValueError):
+            series.record_one_way(Packet())
+
+    def test_empty_return_path_raises(self):
+        with pytest.raises(ValueError):
+            _ = LatencySeries().return_path
+
+
+class TestSummary:
+    def test_elevated_counting(self):
+        series = LatencySeries()
+        for index in range(90):
+            series.record(float(index), 0.001)
+        for index in range(90, 100):
+            series.record(float(index), 0.1)
+        summary = summarize(series)
+        assert summary.count == 100
+        assert summary.elevated_count == 10
+        # RTT = one-way + steady return path (1 ms each).
+        assert summary.base_rtt == pytest.approx(0.002, rel=0.1)
+        assert summary.maximum == pytest.approx(0.101, rel=0.1)
+
+    def test_as_dict_keys(self):
+        series = LatencySeries()
+        series.record(0.0, 0.001)
+        assert set(summarize(series).as_dict()) == {
+            "count", "mean", "p50", "p99", "max", "base_rtt", "elevated"
+        }
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize(LatencySeries())

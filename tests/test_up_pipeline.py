@@ -1,0 +1,312 @@
+"""Tests for the user plane: rules, sessions, buffer, UPF-C/UPF-U."""
+
+import pytest
+
+from repro.net import Direction, FiveTuple, Packet
+from repro.pfcp import ies as pfcp_ies
+from repro.pfcp.builder import (
+    build_buffering_update,
+    build_forward_update,
+    build_path_switch,
+    build_session_establishment,
+)
+from repro.pfcp.messages import SessionDeletionRequest
+from repro.sim import Environment
+from repro.up import (
+    SessionTable,
+    SmartBuffer,
+    UPFControlPlane,
+    UPFSession,
+    UPFUserPlane,
+    far_from_ie,
+    pdr_from_create_ie,
+)
+
+UE_IP = 0x0A3C0001
+GNB = 0xC0A80201
+UPF = 0xC0A80102
+
+
+def build_upf(env=None, **kwargs):
+    env = env or Environment()
+    table = SessionTable()
+    ul_sink, dl_sink, reports = [], [], []
+    upf_u = UPFUserPlane(
+        env,
+        table,
+        uplink_sink=ul_sink.append,
+        downlink_sink=lambda packet, teid, address: dl_sink.append(
+            (packet, teid, address)
+        ),
+        **kwargs,
+    )
+    upf_c = UPFControlPlane(
+        table, upf_u=upf_u, address=UPF, send_report=reports.append
+    )
+    upf_u.notify_cp = upf_c.on_buffered_data
+    return env, table, upf_u, upf_c, ul_sink, dl_sink, reports
+
+
+def establish(upf_c, seid=1, ue_ip=UE_IP, ul_teid=0x100, dl_teid=0x500):
+    request = build_session_establishment(
+        seid=seid,
+        sequence=1,
+        ue_ip=ue_ip,
+        upf_address=UPF,
+        ul_teid=ul_teid,
+        gnb_address=GNB,
+        dl_teid=dl_teid,
+    )
+    return upf_c.handle(request)
+
+
+def dl_packet(ue_ip=UE_IP, seq=None):
+    return Packet(
+        direction=Direction.DOWNLINK,
+        flow=FiveTuple(src_ip=0x08080808, dst_ip=ue_ip, src_port=80,
+                       dst_port=4000),
+        seq=seq,
+    )
+
+
+def ul_packet(teid=0x100, ue_ip=UE_IP):
+    return Packet(
+        direction=Direction.UPLINK,
+        teid=teid,
+        flow=FiveTuple(src_ip=ue_ip, dst_ip=0x08080808, src_port=4000,
+                       dst_port=80),
+    )
+
+
+class TestSmartBuffer:
+    def test_capacity_default_is_3k(self):
+        assert SmartBuffer().capacity == 3000
+
+    def test_push_drain_order(self):
+        buffer = SmartBuffer(capacity=10)
+        packets = [Packet(seq=i) for i in range(5)]
+        for packet in packets:
+            assert buffer.push(packet)
+        drained = buffer.drain()
+        assert [packet.seq for packet in drained] == [0, 1, 2, 3, 4]
+        assert buffer.is_empty
+        assert buffer.drained_total == 5
+
+    def test_tail_drop(self):
+        buffer = SmartBuffer(capacity=2)
+        assert buffer.push(Packet())
+        assert buffer.push(Packet())
+        assert not buffer.push(Packet())
+        assert buffer.dropped == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            SmartBuffer(capacity=0)
+
+
+class TestSessionTable:
+    def test_dual_key_lookup(self):
+        table = SessionTable()
+        session = UPFSession(seid=1, ue_ip=UE_IP, ul_teid=0x100)
+        table.add(session)
+        assert table.by_teid(0x100) is session
+        assert table.by_ue_ip(UE_IP) is session
+        assert table.by_seid(1) is session
+
+    def test_duplicate_keys_rejected(self):
+        table = SessionTable()
+        table.add(UPFSession(seid=1, ue_ip=1, ul_teid=10))
+        with pytest.raises(ValueError):
+            table.add(UPFSession(seid=1, ue_ip=2, ul_teid=11))
+        with pytest.raises(ValueError):
+            table.add(UPFSession(seid=2, ue_ip=1, ul_teid=11))
+        with pytest.raises(ValueError):
+            table.add(UPFSession(seid=2, ue_ip=2, ul_teid=10))
+
+    def test_remove_clears_all_keys(self):
+        table = SessionTable()
+        table.add(UPFSession(seid=1, ue_ip=1, ul_teid=10))
+        assert table.remove(1) is not None
+        assert table.by_teid(10) is None
+        assert table.by_ue_ip(1) is None
+        assert table.remove(1) is None
+
+
+class TestRuleDecoding:
+    def test_pdr_from_create_ie(self):
+        request = build_session_establishment(
+            seid=1, sequence=1, ue_ip=UE_IP, upf_address=UPF,
+            ul_teid=0x100, gnb_address=GNB, dl_teid=0x500,
+        )
+        creates = request.find_all(pfcp_ies.CreatePdrIE)
+        ul_pdr = pdr_from_create_ie(creates[0])
+        dl_pdr = pdr_from_create_ie(creates[1])
+        assert ul_pdr.outer_header_removal
+        assert ul_pdr.source_interface == pfcp_ies.ACCESS
+        assert dl_pdr.source_interface == pfcp_ies.CORE
+
+    def test_far_from_ie_merging_semantics(self):
+        request = build_session_establishment(
+            seid=1, sequence=1, ue_ip=UE_IP, upf_address=UPF,
+            ul_teid=0x100, gnb_address=GNB, dl_teid=0x500,
+        )
+        fars = [far_from_ie(ie) for ie in request.find_all(pfcp_ies.CreateFarIE)]
+        dl_far = next(far for far in fars if far.far_id == 2)
+        assert dl_far.action.outer_teid == 0x500
+        assert dl_far.action.outer_address == GNB
+
+    def test_pdr_without_id_raises(self):
+        with pytest.raises(ValueError):
+            pdr_from_create_ie(pfcp_ies.CreatePdrIE(children=[]))
+
+
+class TestForwarding:
+    def test_uplink_decap_to_dn(self):
+        env, table, upf_u, upf_c, ul_sink, dl_sink, _ = build_upf()
+        establish(upf_c)
+        upf_u.process(ul_packet())
+        assert len(ul_sink) == 1
+        assert ul_sink[0].teid is None  # outer header removed
+        assert upf_u.stats.forwarded_ul == 1
+
+    def test_downlink_encap_to_gnb(self):
+        env, table, upf_u, upf_c, ul_sink, dl_sink, _ = build_upf()
+        establish(upf_c)
+        upf_u.process(dl_packet())
+        assert len(dl_sink) == 1
+        packet, teid, address = dl_sink[0]
+        assert teid == 0x500 and address == GNB
+        assert packet.teid == 0x500
+
+    def test_unknown_session_dropped(self):
+        env, table, upf_u, upf_c, *_ = build_upf()
+        establish(upf_c)
+        upf_u.process(dl_packet(ue_ip=0x0A3C0099))
+        upf_u.process(ul_packet(teid=0x999))
+        assert upf_u.stats.dropped_no_session == 2
+
+    def test_uplink_without_teid_dropped(self):
+        env, table, upf_u, upf_c, *_ = build_upf()
+        establish(upf_c)
+        packet = ul_packet()
+        packet.teid = None
+        upf_u.process(packet)
+        assert upf_u.stats.dropped_no_session == 1
+
+    def test_session_deletion_stops_forwarding(self):
+        env, table, upf_u, upf_c, ul_sink, *_ = build_upf()
+        establish(upf_c)
+        response = upf_c.handle(SessionDeletionRequest(seid=1, sequence=2))
+        assert response.find(pfcp_ies.CauseIE).accepted
+        upf_u.process(ul_packet())
+        assert upf_u.stats.dropped_no_session == 1
+
+    def test_delete_unknown_session(self):
+        env, table, upf_u, upf_c, *_ = build_upf()
+        response = upf_c.handle(SessionDeletionRequest(seid=42, sequence=1))
+        assert not response.find(pfcp_ies.CauseIE).accepted
+
+
+class TestBufferingFlow:
+    def test_buffering_update_buffers_and_notifies_once(self):
+        env, table, upf_u, upf_c, _, dl_sink, reports = build_upf()
+        establish(upf_c)
+        upf_c.handle(build_buffering_update(seid=1, sequence=2, notify_cp=True))
+        for seq in range(5):
+            upf_u.process(dl_packet(seq=seq))
+        session = table.by_seid(1)
+        assert len(session.buffer) == 5
+        assert len(reports) == 1  # exactly one downlink data report
+        assert dl_sink == []
+
+    def test_forward_update_flushes_in_order(self):
+        env, table, upf_u, upf_c, _, dl_sink, _ = build_upf()
+        establish(upf_c)
+        upf_c.handle(build_buffering_update(seid=1, sequence=2, notify_cp=True))
+        for seq in range(5):
+            upf_u.process(dl_packet(seq=seq))
+        upf_c.handle(
+            build_forward_update(seid=1, sequence=3, gnb_address=GNB,
+                                 dl_teid=0x500)
+        )
+        assert [p.seq for p, _t, _a in dl_sink] == [0, 1, 2, 3, 4]
+        assert table.by_seid(1).buffer.is_empty
+        # Drained packets carry their serial re-injection delay.
+        delays = [p.meta["extra_delay"] for p, _t, _a in dl_sink]
+        assert delays == sorted(delays)
+
+    def test_report_pending_resets_after_flush(self):
+        env, table, upf_u, upf_c, _, _, reports = build_upf()
+        establish(upf_c)
+        upf_c.handle(build_buffering_update(seid=1, sequence=2, notify_cp=True))
+        upf_u.process(dl_packet(seq=0))
+        upf_c.handle(
+            build_forward_update(seid=1, sequence=3, gnb_address=GNB,
+                                 dl_teid=0x500)
+        )
+        upf_c.handle(build_buffering_update(seid=1, sequence=4, notify_cp=True))
+        upf_u.process(dl_packet(seq=1))
+        assert len(reports) == 2  # a fresh episode notifies again
+
+    def test_choose_teid_allocates(self):
+        env, table, upf_u, upf_c, *_ = build_upf()
+        establish(upf_c)
+        response = upf_c.handle(
+            build_buffering_update(
+                seid=1, sequence=2, choose_new_teid=True, upf_address=UPF
+            )
+        )
+        allocated = response.find(pfcp_ies.FTeidIE)
+        assert allocated is not None
+        assert allocated.teid >= 0x1000
+
+    def test_modify_unknown_session_rejected(self):
+        env, table, upf_u, upf_c, *_ = build_upf()
+        response = upf_c.handle(
+            build_buffering_update(seid=77, sequence=1)
+        )
+        cause = response.find(pfcp_ies.CauseIE)
+        assert cause.cause == pfcp_ies.CAUSE_SESSION_NOT_FOUND
+
+    def test_path_switch_redirects(self):
+        env, table, upf_u, upf_c, _, dl_sink, _ = build_upf()
+        establish(upf_c)
+        new_gnb = 0xC0A80202
+        upf_c.handle(
+            build_path_switch(seid=1, sequence=2, new_gnb_address=new_gnb,
+                              new_dl_teid=0x600)
+        )
+        upf_u.process(dl_packet())
+        _, teid, address = dl_sink[0]
+        assert (teid, address) == (0x600, new_gnb)
+
+    def test_session_scoped_capacity(self):
+        env, table, upf_u, upf_c, *_ = build_upf()
+        establish(upf_c, seid=1, ue_ip=UE_IP, ul_teid=0x100)
+        establish(upf_c, seid=2, ue_ip=UE_IP + 1, ul_teid=0x101)
+        session = table.by_seid(1)
+        # Session-scoped (L25GC): full capacity regardless of others.
+        assert upf_u._effective_capacity(session) == session.buffer.capacity
+
+    def test_shared_capacity_shrinks_with_sessions(self):
+        env, table, upf_u, upf_c, *_ = build_upf(
+            session_scoped_buffering=False
+        )
+        establish(upf_c, seid=1, ue_ip=UE_IP, ul_teid=0x100)
+        establish(upf_c, seid=2, ue_ip=UE_IP + 1, ul_teid=0x101)
+        session = table.by_seid(1)
+        expected = session.buffer.capacity - upf_u.SHARED_BACKLOG_PER_SESSION
+        assert upf_u._effective_capacity(session) == expected
+
+
+class TestMultiSession:
+    def test_sessions_isolated(self):
+        env, table, upf_u, upf_c, ul_sink, dl_sink, _ = build_upf()
+        establish(upf_c, seid=1, ue_ip=UE_IP, ul_teid=0x100, dl_teid=0x500)
+        establish(upf_c, seid=2, ue_ip=UE_IP + 1, ul_teid=0x101, dl_teid=0x501)
+        # Buffer only session 2.
+        upf_c.handle(build_buffering_update(seid=2, sequence=5))
+        upf_u.process(dl_packet(ue_ip=UE_IP))
+        upf_u.process(dl_packet(ue_ip=UE_IP + 1))
+        assert len(dl_sink) == 1  # session 1 still flows
+        assert len(table.by_seid(2).buffer) == 1
