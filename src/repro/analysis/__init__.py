@@ -1,0 +1,23 @@
+"""Static and dynamic correctness analysis for the reproduction.
+
+Two coordinated halves guard the shared-memory core:
+
+* :mod:`repro.analysis.lint` — a project-specific AST lint pass
+  (``python -m repro.analysis.lint src tests``) enforcing determinism
+  invariants: no wall-clock time or unseeded randomness in simulation
+  code, no blocking sleeps, frozen message dataclasses, no float
+  equality against ``env.now``, no mutable default arguments.
+* :mod:`repro.analysis.sanitizer` — an opt-in runtime descriptor
+  sanitizer wired into :class:`~repro.core.transport.MessageBus` and
+  :class:`~repro.core.rings.Ring` that stamps each descriptor with an
+  owner and content fingerprint and flags mutate-after-send,
+  double-enqueue, and use-after-dequeue violations with the offending
+  send site.
+
+Every perf or scale PR is expected to keep ``lint`` clean and the
+tier-1 suite green under ``pytest --sanitize``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["lint", "rules", "sanitizer"]

@@ -1,0 +1,146 @@
+"""Project lint runner: ``python -m repro.analysis.lint src tests``.
+
+Walks the given files/directories, parses every ``*.py`` file once, and
+runs each registered :class:`~repro.analysis.rules.Rule` over it.
+Findings print as ``file:line:col: CODE [severity] message`` (or JSON
+with ``--json``); the process exits non-zero when any unsuppressed
+finding remains, which is what CI gates on.
+
+Options
+-------
+``--json``
+    Emit findings as a JSON array (machine-readable mode).
+``--select R001,R004``
+    Run only the listed rule codes.
+``--ignore R006``
+    Skip the listed rule codes.
+``--list-rules``
+    Print the rule catalog and exit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Iterable, List, Optional, Sequence
+
+from .rules import FileContext, Finding, Rule, all_rules
+
+__all__ = ["iter_python_files", "lint_file", "lint_paths", "main"]
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+def lint_file(
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    source: Optional[str] = None,
+) -> List[Finding]:
+    """Run the rule set over one file; returns unsuppressed findings."""
+    if source is None:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    try:
+        ctx = FileContext.parse(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="R000",
+                severity="error",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        for finding in rule.check(ctx):
+            if not ctx.is_suppressed(finding):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str], rules: Optional[Sequence[Rule]] = None
+) -> List[Finding]:
+    """Lint every python file under ``paths``."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path, rules=rules))
+    return findings
+
+
+def _select_rules(
+    select: Optional[str], ignore: Optional[str]
+) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = {code.strip().upper() for code in select.split(",")}
+        unknown = wanted - {rule.code for rule in rules}
+        if unknown:
+            raise SystemExit(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        dropped = {code.strip().upper() for code in ignore.split(",")}
+        rules = [rule for rule in rules if rule.code not in dropped]
+    return rules
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Determinism & zero-copy lint for the L25GC reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"])
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument("--select", metavar="CODES")
+    parser.add_argument("--ignore", metavar="CODES")
+    parser.add_argument("--list-rules", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            doc = (type(rule).__doc__ or "").strip().split("\n")[0]
+            print(f"{rule.code}  {rule.name:<22} {doc}")
+        return 0
+
+    rules = _select_rules(args.select, args.ignore)
+    try:
+        findings = lint_paths(args.paths, rules=rules)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,467 @@
+"""Pluggable lint rules for the determinism / zero-copy invariants.
+
+Each rule is a subclass of :class:`Rule` registered through
+:func:`register_rule`; the runner in :mod:`repro.analysis.lint` feeds
+every rule a parsed :class:`FileContext` and collects the
+:class:`Finding` objects it yields.  Rules are purely syntactic (AST +
+source text) so the pass stays fast and dependency-free.
+
+Rule catalog
+------------
+
+========  ==================================================================
+R001      Wall-clock time (``time.time``, ``datetime.now``...) in
+          simulation code; ``time.perf_counter`` is allowed only in
+          ``experiments/`` and ``benchmarks/`` micro-benchmarks.
+R002      Unseeded randomness: module-level ``random.*`` calls or a
+          seedless ``random.Random()``; stochastic models must route
+          through :class:`repro.sim.rng.StreamRNG`.
+R003      Blocking ``time.sleep`` — simulation processes and
+          ``MessageBus`` handlers must yield ``env.timeout`` instead.
+R004      SBI / PFCP / NAS message dataclasses must be declared
+          ``frozen=True`` (zero-copy descriptor passing hands out live
+          references; mutation after send corrupts readers).
+R005      Float ``==`` / ``!=`` against ``env.now`` — use
+          ``pytest.approx`` or interval checks.
+R006      Mutable default argument (list/dict/set) in ``src/repro``.
+========  ==================================================================
+
+Findings on a line carrying ``# repro: noqa`` (all rules) or
+``# repro: noqa[R001,R005]`` (specific rules) are suppressed.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Type
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "RULE_REGISTRY",
+    "register_rule",
+    "all_rules",
+]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation, formatted as ``file:line:code message``."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    severity: str
+    message: str
+
+    def format(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+@dataclass
+class FileContext:
+    """A parsed source file handed to every rule."""
+
+    path: str  # normalized posix-style path as given on the CLI
+    source: str
+    tree: ast.AST
+    #: line number -> set of suppressed codes (empty set = all codes)
+    noqa: Dict[int, frozenset] = field(default_factory=dict)
+
+    @classmethod
+    def parse(cls, path: str, source: str) -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        noqa: Dict[int, frozenset] = {}
+        for lineno, line in enumerate(source.splitlines(), start=1):
+            match = _NOQA_RE.search(line)
+            if match:
+                codes = match.group("codes")
+                if codes:
+                    noqa[lineno] = frozenset(
+                        c.strip().upper() for c in codes.split(",") if c.strip()
+                    )
+                else:
+                    noqa[lineno] = frozenset()
+        return cls(path=path, source=source, tree=tree, noqa=noqa)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        codes = self.noqa.get(finding.line)
+        if codes is None:
+            return False
+        return not codes or finding.code in codes
+
+    def path_has(self, *parts: str) -> bool:
+        """True if any path component matches one of ``parts``."""
+        components = self.path.replace("\\", "/").split("/")
+        return any(part in components for part in parts)
+
+    def path_endswith(self, *suffixes: str) -> bool:
+        norm = self.path.replace("\\", "/")
+        return any(norm.endswith(suffix) for suffix in suffixes)
+
+
+RULE_REGISTRY: Dict[str, Type["Rule"]] = {}
+
+
+def register_rule(cls: Type["Rule"]) -> Type["Rule"]:
+    """Class decorator adding a rule to the registry (keyed by code)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in RULE_REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULE_REGISTRY[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List["Rule"]:
+    """Fresh instances of every registered rule, ordered by code."""
+    return [RULE_REGISTRY[code]() for code in sorted(RULE_REGISTRY)]
+
+
+class Rule:
+    """Base lint rule.
+
+    Subclasses set :attr:`code`, :attr:`name`, :attr:`severity` and
+    implement :meth:`check`, yielding :class:`Finding` objects.
+    """
+
+    code: str = ""
+    name: str = ""
+    severity: str = "error"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            severity=self.severity,
+            message=message,
+        )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# R001 — wall-clock time
+# ---------------------------------------------------------------------------
+@register_rule
+class WallClockRule(Rule):
+    """Simulated time comes from ``env.now``; wall-clock reads make runs
+    irreproducible.  ``time.perf_counter`` is tolerated only inside the
+    ``experiments/`` and ``benchmarks/`` micro-benchmark harnesses,
+    which genuinely measure host CPU time."""
+
+    code = "R001"
+    name = "wall-clock-time"
+
+    FORBIDDEN = {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "datetime.now",
+        "datetime.utcnow",
+        "datetime.today",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+    BENCH_ONLY = {"time.perf_counter", "time.perf_counter_ns"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        in_bench = ctx.path_has("experiments", "benchmarks")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted in self.FORBIDDEN:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"wall-clock call {dotted}() breaks deterministic "
+                    "replay; derive time from env.now",
+                )
+            elif dotted in self.BENCH_ONLY and not in_bench:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() is reserved for experiments/ and "
+                    "benchmarks/ micro-benchmarks; simulation code must "
+                    "use env.now",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R002 — unseeded randomness
+# ---------------------------------------------------------------------------
+@register_rule
+class UnseededRandomRule(Rule):
+    """Module-level ``random.*`` draws from interpreter-global state and
+    breaks bit-for-bit reproducibility; draw from a named
+    :class:`repro.sim.rng.StreamRNG` substream (or at minimum an
+    explicitly seeded ``random.Random(seed)``)."""
+
+    code = "R002"
+    name = "unseeded-random"
+
+    MODULE_FUNCS = {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "random.expovariate",
+        "random.seed",
+        "random.getrandbits",
+        "random.betavariate",
+        "random.normalvariate",
+        "random.paretovariate",
+    }
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            if dotted in self.MODULE_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{dotted}() uses the global RNG; route through "
+                    "repro.sim.rng.StreamRNG",
+                )
+            elif dotted == "random.Random" and not (
+                node.args or node.keywords
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "random.Random() without a seed is entropy-seeded; "
+                    "pass an explicit seed or use repro.sim.rng",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R003 — blocking sleep
+# ---------------------------------------------------------------------------
+@register_rule
+class BlockingSleepRule(Rule):
+    """``time.sleep`` stalls the whole event loop — a MessageBus handler
+    or Environment process must yield ``env.timeout(...)`` so simulated
+    time, not host time, advances."""
+
+    code = "R003"
+    name = "blocking-sleep"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        sleep_aliases = {"time.sleep"}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "sleep":
+                        sleep_aliases.add(alias.asname or alias.name)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in sleep_aliases:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"blocking {dotted}() stalls the event loop; yield "
+                    "env.timeout(...) instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# R004 — frozen message dataclasses
+# ---------------------------------------------------------------------------
+@register_rule
+class FrozenMessageRule(Rule):
+    """The zero-copy transports pass live references; a message mutated
+    after send corrupts every reader holding its descriptor.  Message
+    schema modules must declare every dataclass ``frozen=True``."""
+
+    code = "R004"
+    name = "unfrozen-message"
+
+    MESSAGE_MODULES = (
+        "sbi/messages.py",
+        "pfcp/messages.py",
+        "pfcp/ies.py",
+        "pfcp/qos_ies.py",
+        "ran/ngap.py",
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.path_endswith(*self.MESSAGE_MODULES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                frozen = self._frozen_state(decorator)
+                if frozen is False:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"message dataclass {node.name} must be declared "
+                        "@dataclass(frozen=True): descriptors are passed "
+                        "by reference over shared memory",
+                    )
+
+    @staticmethod
+    def _frozen_state(decorator: ast.AST) -> Optional[bool]:
+        """True/False for a @dataclass decorator, None for others."""
+        if isinstance(decorator, ast.Name) and decorator.id == "dataclass":
+            return False
+        if isinstance(decorator, ast.Call):
+            dotted = _dotted(decorator.func)
+            if dotted in ("dataclass", "dataclasses.dataclass"):
+                for kw in decorator.keywords:
+                    if kw.arg == "frozen":
+                        return (
+                            isinstance(kw.value, ast.Constant)
+                            and kw.value.value is True
+                        )
+                return False
+        if isinstance(decorator, ast.Attribute):
+            if _dotted(decorator) == "dataclasses.dataclass":
+                return False
+        return None
+
+
+# ---------------------------------------------------------------------------
+# R005 — float equality against env.now
+# ---------------------------------------------------------------------------
+@register_rule
+class NowEqualityRule(Rule):
+    """``env.now`` accumulates float timeouts; exact equality is a
+    rounding-error time bomb.  Compare through ``pytest.approx`` (or an
+    explicit tolerance)."""
+
+    code = "R005"
+    name = "float-eq-now"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if not any(self._is_now(op) for op in operands):
+                continue
+            if any(self._is_approx(op) for op in operands):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                "exact float comparison against env.now; wrap the "
+                "expected value in pytest.approx(...)",
+            )
+
+    @staticmethod
+    def _is_now(node: ast.AST) -> bool:
+        return isinstance(node, ast.Attribute) and node.attr == "now"
+
+    @staticmethod
+    def _is_approx(node: ast.AST) -> bool:
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            if dotted and dotted.split(".")[-1] == "approx":
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# R006 — mutable default arguments
+# ---------------------------------------------------------------------------
+@register_rule
+class MutableDefaultRule(Rule):
+    """A mutable default is shared across every call — state leaks
+    between simulated runs and across NF instances."""
+
+    code = "R006"
+    name = "mutable-default-arg"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.path_has("repro", "src"):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults: List[Tuple[ast.AST, str]] = []
+            args = node.args
+            pos = args.posonlyargs + args.args
+            for arg, default in zip(pos[len(pos) - len(args.defaults):],
+                                    args.defaults):
+                defaults.append((default, arg.arg))
+            for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+                if default is not None:
+                    defaults.append((default, arg.arg))
+            for default, arg_name in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default for argument {arg_name!r} in "
+                        f"{node.name}(); use None and construct inside",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            return dotted in ("list", "dict", "set", "bytearray")
+        return False

@@ -11,7 +11,9 @@ statistics.  It is a real data structure — the micro-benchmarks in
 
 from __future__ import annotations
 
-from typing import Any, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..analysis import sanitizer as _sanitizer
 
 __all__ = ["Ring", "RingFullError", "RingEmptyError"]
 
@@ -51,6 +53,7 @@ class Ring:
         "_tail",
         "enqueued",
         "dequeued",
+        "dropped",
         "enqueue_failures",
         "high_watermark",
     )
@@ -66,6 +69,7 @@ class Ring:
         self._tail = 0  # next slot to read (consumer)
         self.enqueued = 0
         self.dequeued = 0
+        self.dropped = 0
         self.enqueue_failures = 0
         self.high_watermark = 0
 
@@ -97,6 +101,9 @@ class Ring:
         if self.is_full:
             self.enqueue_failures += 1
             raise RingFullError(f"{self.name}: ring full ({self.capacity})")
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_enqueue(self.name, descriptor)
         self._slots[self._head & self._mask] = descriptor
         self._head += 1
         self.enqueued += 1
@@ -113,6 +120,9 @@ class Ring:
         self._slots[index] = None
         self._tail += 1
         self.dequeued += 1
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_dequeue(self.name, descriptor)
         return descriptor
 
     # -- batch operations (the common fast path in ONVM) -----------------------
@@ -120,7 +130,10 @@ class Ring:
         """Push as many of ``descriptors`` as fit; returns how many."""
         space = self.free_count
         count = min(space, len(descriptors))
+        san = _sanitizer.active()
         for i in range(count):
+            if san is not None:
+                san.on_enqueue(self.name, descriptors[i])
             self._slots[self._head & self._mask] = descriptors[i]
             self._head += 1
         self.enqueued += count
@@ -134,11 +147,15 @@ class Ring:
         """Pop up to ``max_count`` descriptors (possibly fewer)."""
         count = min(max_count, len(self))
         out: List[Any] = []
+        san = _sanitizer.active()
         for _ in range(count):
             index = self._tail & self._mask
-            out.append(self._slots[index])
+            descriptor = self._slots[index]
             self._slots[index] = None
             self._tail += 1
+            if san is not None:
+                san.on_dequeue(self.name, descriptor)
+            out.append(descriptor)
         self.dequeued += count
         return out
 
@@ -149,15 +166,41 @@ class Ring:
         return self._slots[self._tail & self._mask]
 
     def clear(self) -> int:
-        """Drop everything; returns the number of discarded descriptors."""
-        dropped = len(self)
+        """Drop everything; returns the number of discarded descriptors.
+
+        Discards are charged to :attr:`dropped` so the enqueue/dequeue
+        ledger stays balanced (``enqueued == dequeued + dropped + len``)
+        and sanitizer/watermark numbers remain consistent.
+        """
+        count = len(self)
+        san = _sanitizer.active()
+        if san is not None and count:
+            live = [
+                self._slots[index & self._mask]
+                for index in range(self._tail, self._head)
+            ]
+            san.on_clear(self.name, live)
         for i in range(len(self._slots)):
             self._slots[i] = None
         self._tail = self._head
-        return dropped
+        self.dropped += count
+        return count
+
+    def stats(self) -> Dict[str, int]:
+        """The ring's full accounting ledger, for harnesses and asserts."""
+        return {
+            "capacity": self.capacity,
+            "occupancy": len(self),
+            "enqueued": self.enqueued,
+            "dequeued": self.dequeued,
+            "dropped": self.dropped,
+            "enqueue_failures": self.enqueue_failures,
+            "high_watermark": self.high_watermark,
+        }
 
     def __repr__(self) -> str:
         return (
             f"Ring({self.name!r}, {len(self)}/{self.capacity}, "
-            f"enq={self.enqueued}, deq={self.dequeued})"
+            f"enq={self.enqueued}, deq={self.dequeued}, "
+            f"drop={self.dropped})"
         )

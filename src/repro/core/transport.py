@@ -17,10 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from ..analysis import sanitizer as _sanitizer
 from ..sim.engine import Environment, Event
 from .costs import DEFAULT_COSTS, Channel, CostModel
 
-__all__ = ["MessageRecord", "MessageBus", "Endpoint"]
+__all__ = ["MessageRecord", "DropRecord", "MessageBus", "Endpoint"]
 
 
 @dataclass
@@ -45,6 +46,23 @@ class MessageRecord:
     def total_latency(self) -> float:
         """Transport plus handler — the paper's 'message latency'."""
         return self.transport_latency + self.handler_time
+
+
+@dataclass
+class DropRecord:
+    """One message the bus could not deliver, with the reason why.
+
+    ``reason`` is ``"unknown-endpoint"`` when nothing ever registered
+    under the destination name and ``"endpoint-down"`` when a
+    registered endpoint was marked dead (crashed NF) — failure-injection
+    experiments need to tell these apart.
+    """
+
+    source: str
+    destination: str
+    name: str
+    reason: str
+    at: float
 
 
 @dataclass
@@ -83,6 +101,8 @@ class MessageBus:
         self.default_channel = default_channel
         self.endpoints: Dict[str, Endpoint] = {}
         self.log: List[MessageRecord] = []
+        self.drops: List[DropRecord] = []
+        #: Total undelivered messages; kept in lockstep with ``drops``.
         self.lost = 0
 
     # ------------------------------------------------------------------
@@ -133,6 +153,9 @@ class MessageBus:
             else self.costs.handler_processing
         )
         label = name or getattr(message, "name", type(message).__name__)
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_send(source, destination, message)
         self.env.process(
             self._deliver(
                 source, destination, message, channel, size, latency,
@@ -158,9 +181,28 @@ class MessageBus:
         endpoint = self.endpoints.get(destination)
         if endpoint is None or not endpoint.alive:
             self.lost += 1
+            self.drops.append(
+                DropRecord(
+                    source=source,
+                    destination=destination,
+                    name=label,
+                    reason=(
+                        "unknown-endpoint"
+                        if endpoint is None
+                        else "endpoint-down"
+                    ),
+                    at=self.env.now,
+                )
+            )
+            san = _sanitizer.active()
+            if san is not None:
+                san.on_drop(message)
             done.succeed(None)
             return
         delivered_at = self.env.now
+        san = _sanitizer.active()
+        if san is not None:
+            san.on_deliver(destination, message)
         if handler_time > 0:
             yield self.env.timeout(handler_time)
         extra = endpoint.handler(message, self)

@@ -15,7 +15,7 @@ these.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from ..net.packet import Direction, Packet, PacketKind
@@ -662,7 +662,9 @@ class ProcedureRunner:
         if not smart:
             # 3GPP flow: the UPF keeps forwarding; the *source gNB*
             # buffers from the moment the UE detaches.
-            prep.ies = [ie for ie in prep.ies if isinstance(ie, FTeidIE)]
+            prep = replace(
+                prep, ies=[ie for ie in prep.ies if isinstance(ie, FTeidIE)]
+            )
             source_gnb.start_buffering(ue)
         response = yield from core.n4_exchange(prep)
         allocated = response.find(FTeidIE)

@@ -73,7 +73,7 @@ def _register(cls: Type["IE"]) -> Type["IE"]:
     return cls
 
 
-@dataclass
+@dataclass(frozen=True)
 class IE:
     """Base information element."""
 
@@ -132,7 +132,7 @@ def _first(ies: List[IE], cls: Type[IE]) -> Optional[IE]:
 # Scalar IEs
 # ---------------------------------------------------------------------------
 @_register
-@dataclass
+@dataclass(frozen=True)
 class CauseIE(IE):
     """Cause (type 19)."""
 
@@ -152,7 +152,7 @@ class CauseIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class NodeIdIE(IE):
     """Node ID (type 60), IPv4 form."""
 
@@ -169,7 +169,7 @@ class NodeIdIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class FSeidIE(IE):
     """F-SEID (type 57): session endpoint id + IPv4."""
 
@@ -187,7 +187,7 @@ class FSeidIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class PdrIdIE(IE):
     """PDR ID (type 56)."""
 
@@ -203,7 +203,7 @@ class PdrIdIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class FarIdIE(IE):
     """FAR ID (type 108)."""
 
@@ -219,7 +219,7 @@ class FarIdIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class QerIdIE(IE):
     """QER ID (type 109)."""
 
@@ -235,7 +235,7 @@ class QerIdIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class PrecedenceIE(IE):
     """Precedence (type 29): lower value wins."""
 
@@ -251,7 +251,7 @@ class PrecedenceIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SourceInterfaceIE(IE):
     """Source Interface (type 20): ACCESS (UL) or CORE (DL)."""
 
@@ -267,7 +267,7 @@ class SourceInterfaceIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class DestinationInterfaceIE(IE):
     """Destination Interface (type 42)."""
 
@@ -283,7 +283,7 @@ class DestinationInterfaceIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class FTeidIE(IE):
     """F-TEID (type 21): local tunnel endpoint.
 
@@ -310,7 +310,7 @@ class FTeidIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class UeIpAddressIE(IE):
     """UE IP Address (type 93)."""
 
@@ -333,7 +333,7 @@ class UeIpAddressIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class NetworkInstanceIE(IE):
     """Network Instance (type 22): the DNN's transport domain."""
 
@@ -349,7 +349,7 @@ class NetworkInstanceIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SdfFilterIE(IE):
     """SDF Filter (type 23): an IP-filter flow description.
 
@@ -391,29 +391,31 @@ class SdfFilterIE(IE):
     def parse(cls, data: bytes) -> "SdfFilterIE":
         flags = data[0]
         pos = 2
-        ie = cls(flow_description="")
+        fields: Dict[str, object] = {"flow_description": ""}
         if flags & 0x01:
             (length,) = struct.unpack_from("!H", data, pos)
             pos += 2
-            ie.flow_description = data[pos : pos + length].decode("ascii")
+            fields["flow_description"] = data[pos : pos + length].decode(
+                "ascii"
+            )
             pos += length
         if flags & 0x02:
-            (ie.tos,) = struct.unpack_from("!H", data, pos)
+            (fields["tos"],) = struct.unpack_from("!H", data, pos)
             pos += 2
         if flags & 0x04:
-            (ie.spi,) = struct.unpack_from("!I", data, pos)
+            (fields["spi"],) = struct.unpack_from("!I", data, pos)
             pos += 4
         if flags & 0x08:
-            (ie.flow_label,) = struct.unpack_from("!I", data, pos)
+            (fields["flow_label"],) = struct.unpack_from("!I", data, pos)
             pos += 4
         if flags & 0x10:
-            (ie.filter_id,) = struct.unpack_from("!I", data, pos)
+            (fields["filter_id"],) = struct.unpack_from("!I", data, pos)
             pos += 4
-        return ie
+        return cls(**fields)
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class QfiIE(IE):
     """QoS Flow Identifier (type 124)."""
 
@@ -429,7 +431,7 @@ class QfiIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class ApplyActionIE(IE):
     """Apply Action (type 44): DROP/FORW/BUFF/NOCP/DUPL flags.
 
@@ -466,7 +468,7 @@ class ApplyActionIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class OuterHeaderCreationIE(IE):
     """Outer Header Creation (type 84): GTP-U/UDP/IPv4 towards a gNB."""
 
@@ -484,7 +486,7 @@ class OuterHeaderCreationIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class OuterHeaderRemovalIE(IE):
     """Outer Header Removal (type 95)."""
 
@@ -500,7 +502,7 @@ class OuterHeaderRemovalIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class ReportTypeIE(IE):
     """Report Type (type 39).
 
@@ -524,7 +526,7 @@ class ReportTypeIE(IE):
 # ---------------------------------------------------------------------------
 # Grouped IEs
 # ---------------------------------------------------------------------------
-@dataclass
+@dataclass(frozen=True)
 class _GroupedIE(IE):
     """Base for IEs whose payload is a list of child IEs."""
 
@@ -546,7 +548,7 @@ class _GroupedIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class PdiIE(_GroupedIE):
     """Packet Detection Information (type 2, grouped)."""
 
@@ -554,7 +556,7 @@ class PdiIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class CreatePdrIE(_GroupedIE):
     """Create PDR (type 1, grouped): PDR ID, precedence, PDI, FAR ID."""
 
@@ -562,7 +564,7 @@ class CreatePdrIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class ForwardingParametersIE(_GroupedIE):
     """Forwarding Parameters (type 4, grouped)."""
 
@@ -570,7 +572,7 @@ class ForwardingParametersIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class CreateFarIE(_GroupedIE):
     """Create FAR (type 3, grouped): FAR ID, apply action, fwd params."""
 
@@ -578,7 +580,7 @@ class CreateFarIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class UpdateFarIE(_GroupedIE):
     """Update FAR (type 10, grouped) — carries the handover buffering
     action and the new outer header towards the target gNB."""
@@ -587,7 +589,7 @@ class UpdateFarIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class DownlinkDataReportIE(_GroupedIE):
     """Downlink Data Report (type 83, grouped): PDR ID that saw DL data."""
 

@@ -47,7 +47,7 @@ def _register(cls: Type["PFCPMessage"]) -> Type["PFCPMessage"]:
     return cls
 
 
-@dataclass
+@dataclass(frozen=True)
 class PFCPHeader:
     """The PFCP message header (version 1).
 
@@ -93,7 +93,7 @@ class PFCPHeader:
         return header, data[pos:]
 
 
-@dataclass
+@dataclass(frozen=True)
 class PFCPMessage:
     """Base PFCP message: a header plus a list of IEs."""
 
@@ -152,7 +152,7 @@ def decode_message(data: bytes) -> PFCPMessage:
 # Node messages
 # ---------------------------------------------------------------------------
 @_register
-@dataclass
+@dataclass(frozen=True)
 class HeartbeatRequest(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 1
     HAS_SEID: ClassVar[bool] = False
@@ -160,7 +160,7 @@ class HeartbeatRequest(PFCPMessage):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class HeartbeatResponse(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 2
     HAS_SEID: ClassVar[bool] = False
@@ -168,7 +168,7 @@ class HeartbeatResponse(PFCPMessage):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class AssociationSetupRequest(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 5
     HAS_SEID: ClassVar[bool] = False
@@ -176,7 +176,7 @@ class AssociationSetupRequest(PFCPMessage):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class AssociationSetupResponse(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 6
     HAS_SEID: ClassVar[bool] = False
@@ -187,7 +187,7 @@ class AssociationSetupResponse(PFCPMessage):
 # Session messages
 # ---------------------------------------------------------------------------
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionEstablishmentRequest(PFCPMessage):
     """SMF -> UPF: install PDRs/FARs for a new PDU session."""
 
@@ -196,14 +196,14 @@ class SessionEstablishmentRequest(PFCPMessage):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionEstablishmentResponse(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 51
     HANDLER_TIME: ClassVar[float] = 250.0 * US
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionModificationRequest(PFCPMessage):
     """SMF -> UPF: update FARs — path switch, buffering, paging wake."""
 
@@ -212,28 +212,28 @@ class SessionModificationRequest(PFCPMessage):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionModificationResponse(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 53
     HANDLER_TIME: ClassVar[float] = 200.0 * US
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionDeletionRequest(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 54
     HANDLER_TIME: ClassVar[float] = 350.0 * US
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionDeletionResponse(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 55
     HANDLER_TIME: ClassVar[float] = 150.0 * US
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionReportRequest(PFCPMessage):
     """UPF -> SMF: downlink data notification (starts paging)."""
 
@@ -242,7 +242,7 @@ class SessionReportRequest(PFCPMessage):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class SessionReportResponse(PFCPMessage):
     MESSAGE_TYPE: ClassVar[int] = 57
     HANDLER_TIME: ClassVar[float] = 100.0 * US

@@ -34,7 +34,7 @@ GATE_CLOSED = 1
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class GateStatusIE(IE):
     """Gate Status (type 25): open/closed per direction."""
 
@@ -59,7 +59,7 @@ class GateStatusIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class MbrIE(IE):
     """Maximum Bit Rate (type 26), kbps per direction."""
 
@@ -79,7 +79,7 @@ class MbrIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class GbrIE(IE):
     """Guaranteed Bit Rate (type 27), kbps per direction."""
 
@@ -97,7 +97,7 @@ class GbrIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class CreateQerIE(_GroupedIE):
     """Create QER (type 7, grouped): QER ID, gate, MBR, QFI."""
 
@@ -105,7 +105,7 @@ class CreateQerIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class UrrIdIE(IE):
     """URR ID (type 81)."""
 
@@ -121,7 +121,7 @@ class UrrIdIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class MeasurementMethodIE(IE):
     """Measurement Method (type 62): volume and/or duration."""
 
@@ -139,7 +139,7 @@ class MeasurementMethodIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class VolumeThresholdIE(IE):
     """Volume Threshold (type 31): total bytes before a usage report."""
 
@@ -156,7 +156,7 @@ class VolumeThresholdIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class CreateUrrIE(_GroupedIE):
     """Create URR (type 6, grouped): URR ID, method, threshold."""
 
@@ -164,7 +164,7 @@ class CreateUrrIE(_GroupedIE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class VolumeMeasurementIE(IE):
     """Volume Measurement (type 66): bytes counted so far."""
 
@@ -188,7 +188,7 @@ class VolumeMeasurementIE(IE):
 
 
 @_register
-@dataclass
+@dataclass(frozen=True)
 class UsageReportIE(_GroupedIE):
     """Usage Report (type 80, grouped): URR ID + volume measurement."""
 

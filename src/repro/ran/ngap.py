@@ -46,7 +46,7 @@ __all__ = [
 ]
 
 
-@dataclass
+@dataclass(frozen=True)
 class NGAPMessage:
     """Base NGAP message (N2)."""
 
@@ -59,7 +59,7 @@ class NGAPMessage:
         return type(self).__name__
 
 
-@dataclass
+@dataclass(frozen=True)
 class NASMessage:
     """Base NAS message (N1, carried inside NGAP transports)."""
 
@@ -74,35 +74,35 @@ class NASMessage:
 # --------------------------------------------------------------------------
 # NGAP procedures
 # --------------------------------------------------------------------------
-@dataclass
+@dataclass(frozen=True)
 class InitialUEMessage(NGAPMessage):
     """gNB -> AMF: first uplink NAS message of a UE."""
 
     nas: Optional[NASMessage] = None
 
 
-@dataclass
+@dataclass(frozen=True)
 class DownlinkNASTransport(NGAPMessage):
     nas: Optional[NASMessage] = None
 
 
-@dataclass
+@dataclass(frozen=True)
 class UplinkNASTransport(NGAPMessage):
     nas: Optional[NASMessage] = None
 
 
-@dataclass
+@dataclass(frozen=True)
 class InitialContextSetupRequest(NGAPMessage):
     security_key: str = "00" * 32
     nas: Optional[NASMessage] = None
 
 
-@dataclass
+@dataclass(frozen=True)
 class InitialContextSetupResponse(NGAPMessage):
     pass
 
 
-@dataclass
+@dataclass(frozen=True)
 class PDUSessionResourceSetupRequest(NGAPMessage):
     pdu_session_id: int = 1
     ul_teid: int = 0
@@ -111,14 +111,14 @@ class PDUSessionResourceSetupRequest(NGAPMessage):
     nas: Optional[NASMessage] = None
 
 
-@dataclass
+@dataclass(frozen=True)
 class PDUSessionResourceSetupResponse(NGAPMessage):
     pdu_session_id: int = 1
     dl_teid: int = 0
     gnb_address: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class HandoverRequired(NGAPMessage):
     """Source gNB -> AMF: UE measured a better target cell."""
 
@@ -127,7 +127,7 @@ class HandoverRequired(NGAPMessage):
     pdu_session_ids: tuple = (1,)
 
 
-@dataclass
+@dataclass(frozen=True)
 class HandoverRequest(NGAPMessage):
     """AMF -> target gNB: prepare resources."""
 
@@ -136,7 +136,7 @@ class HandoverRequest(NGAPMessage):
     upf_address: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class HandoverRequestAcknowledge(NGAPMessage):
     """Target gNB -> AMF: resources ready; new DL endpoint."""
 
@@ -145,21 +145,21 @@ class HandoverRequestAcknowledge(NGAPMessage):
     gnb_address: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class HandoverCommand(NGAPMessage):
     """AMF -> source gNB -> UE: execute the handover."""
 
     target_gnb_id: int = 2
 
 
-@dataclass
+@dataclass(frozen=True)
 class HandoverNotify(NGAPMessage):
     """Target gNB -> AMF: the UE has arrived."""
 
     pass
 
 
-@dataclass
+@dataclass(frozen=True)
 class PathSwitchRequest(NGAPMessage):
     """Target gNB -> AMF (Xn handover variant)."""
 
@@ -167,7 +167,7 @@ class PathSwitchRequest(NGAPMessage):
     gnb_address: int = 0
 
 
-@dataclass
+@dataclass(frozen=True)
 class PagingMessage(NGAPMessage):
     """AMF -> gNB(s): page an idle UE."""
 
@@ -175,12 +175,12 @@ class PagingMessage(NGAPMessage):
     tac: int = 1
 
 
-@dataclass
+@dataclass(frozen=True)
 class UEContextReleaseCommand(NGAPMessage):
     cause: str = "user-inactivity"
 
 
-@dataclass
+@dataclass(frozen=True)
 class UEContextReleaseComplete(NGAPMessage):
     pass
 
@@ -188,7 +188,7 @@ class UEContextReleaseComplete(NGAPMessage):
 # --------------------------------------------------------------------------
 # NAS messages (5GMM / 5GSM)
 # --------------------------------------------------------------------------
-@dataclass
+@dataclass(frozen=True)
 class RegistrationRequest(NASMessage):
     registration_type: str = "initial"
     suci: str = "suci-0-208-93-0000-0-0-0000000003"
@@ -197,58 +197,58 @@ class RegistrationRequest(NASMessage):
     )
 
 
-@dataclass
+@dataclass(frozen=True)
 class AuthenticationRequest(NASMessage):
     rand: str = "a2e1f8d90b4c6e1735fa0d2246c8b9e1"
     autn: str = "bb2c61d3f8e0800032f9c04dd7b8a1c5"
 
 
-@dataclass
+@dataclass(frozen=True)
 class AuthenticationResponse(NASMessage):
     res_star: str = "d1e2f3a4b5c6d7e8f90a1b2c3d4e5f60"
 
 
-@dataclass
+@dataclass(frozen=True)
 class SecurityModeCommand(NASMessage):
     ciphering: str = "NEA2"
     integrity: str = "NIA2"
 
 
-@dataclass
+@dataclass(frozen=True)
 class SecurityModeComplete(NASMessage):
     pass
 
 
-@dataclass
+@dataclass(frozen=True)
 class RegistrationAccept(NASMessage):
     guti: str = "5g-guti-20893cafe0000000001"
     tai_list: tuple = ((208, 93, 1),)
 
 
-@dataclass
+@dataclass(frozen=True)
 class RegistrationComplete(NASMessage):
     pass
 
 
-@dataclass
+@dataclass(frozen=True)
 class PDUSessionEstablishmentRequest(NASMessage):
     pdu_session_id: int = 1
     dnn: str = "internet"
     pdu_type: str = "IPV4"
 
 
-@dataclass
+@dataclass(frozen=True)
 class PDUSessionEstablishmentAccept(NASMessage):
     pdu_session_id: int = 1
     ue_ip: str = "10.60.0.1"
     qos_rules: tuple = ((1, 9),)
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServiceRequest(NASMessage):
     service_type: str = "mobile-terminated-services"
 
 
-@dataclass
+@dataclass(frozen=True)
 class ServiceAccept(NASMessage):
     pass

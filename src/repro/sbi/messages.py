@@ -46,7 +46,7 @@ def register_message(cls: Type["SBIMessage"]) -> Type["SBIMessage"]:
     return cls
 
 
-@dataclass
+@dataclass(frozen=True)
 class SBIMessage:
     """Base class for all SBI messages."""
 
@@ -66,7 +66,7 @@ class SBIMessage:
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class PostSmContextsRequest(SBIMessage):
     """AMF -> SMF: create an SM context (TS 29.502 SmContextCreateData).
 
@@ -114,7 +114,7 @@ class PostSmContextsRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class PostSmContextsResponse(SBIMessage):
     """SMF -> AMF: SM context created."""
 
@@ -126,7 +126,7 @@ class PostSmContextsResponse(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class UpdateSmContextRequest(SBIMessage):
     """AMF -> SMF: update an SM context (handover, service request)."""
 
@@ -141,7 +141,7 @@ class UpdateSmContextRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class UpdateSmContextResponse(SBIMessage):
     """SMF -> AMF: SM context updated."""
 
@@ -152,7 +152,7 @@ class UpdateSmContextResponse(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class UEAuthenticationRequest(SBIMessage):
     """AMF -> AUSF: initiate 5G-AKA (TS 29.509)."""
 
@@ -164,7 +164,7 @@ class UEAuthenticationRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class UEAuthenticationResponse(SBIMessage):
     """AUSF -> AMF: authentication context with the 5G-AKA challenge."""
 
@@ -184,7 +184,7 @@ class UEAuthenticationResponse(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class AuthConfirmationRequest(SBIMessage):
     """AMF -> AUSF: RES* confirmation."""
 
@@ -193,7 +193,7 @@ class AuthConfirmationRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class N1N2MessageTransfer(SBIMessage):
     """SMF -> AMF: deliver N1 (NAS) / N2 (NGAP) payloads to the RAN.
 
@@ -219,7 +219,7 @@ class N1N2MessageTransfer(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class N1N2MessageTransferResponse(SBIMessage):
     """AMF -> SMF: transfer outcome (may indicate 'attempting to reach UE')."""
 
@@ -228,7 +228,7 @@ class N1N2MessageTransferResponse(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class AmPolicyCreateRequest(SBIMessage):
     """AMF -> PCF: create the AM policy association (TS 29.507)."""
 
@@ -249,7 +249,7 @@ class AmPolicyCreateRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class SmPolicyCreateRequest(SBIMessage):
     """SMF -> PCF: create the SM policy association (TS 29.512)."""
 
@@ -267,7 +267,7 @@ class SmPolicyCreateRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class SubscriptionDataRequest(SBIMessage):
     """AMF/SMF -> UDM: fetch subscription data (TS 29.503)."""
 
@@ -281,7 +281,7 @@ class SubscriptionDataRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class SubscriptionDataResponse(SBIMessage):
     """UDM -> AMF/SMF: the subscription profile."""
 
@@ -304,7 +304,7 @@ class SubscriptionDataResponse(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class NFDiscoveryRequest(SBIMessage):
     """Any NF -> NRF: discover instances of a target NF type."""
 
@@ -319,7 +319,7 @@ class NFDiscoveryRequest(SBIMessage):
 
 
 @register_message
-@dataclass
+@dataclass(frozen=True)
 class NFDiscoveryResponse(SBIMessage):
     """NRF -> requester: matching NF profiles."""
 

@@ -11,6 +11,7 @@ forwarding path (§3.2).
 from __future__ import annotations
 
 import itertools
+from dataclasses import replace
 from typing import Callable, List, Optional, Type
 
 from ..classifier.base import Classifier
@@ -109,9 +110,12 @@ class UPFControlPlane:
             if fteid is not None:
                 if fteid.choose:
                     teid = self.allocate_teid()
-                    # Re-decode the PDR with the allocated endpoint.
-                    fteid.teid = teid
-                    fteid.choose = False
+                    # Swap in the allocated endpoint (IEs are frozen)
+                    # and re-decode the PDR with it.
+                    fteid = replace(fteid, teid=teid, choose=False)
+                    pdi.children[
+                        pdi.children.index(pdi.child(pfcp_ies.FTeidIE))
+                    ] = fteid
                     pdr = pdr_from_create_ie(create)
                     allocated.append(
                         pfcp_ies.FTeidIE(teid=teid, address=self.address)

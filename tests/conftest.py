@@ -1,0 +1,37 @@
+"""Shared pytest configuration.
+
+``pytest --sanitize`` runs every test under the runtime descriptor
+sanitizer (:mod:`repro.analysis.sanitizer`): each zero-copy handoff
+through :class:`~repro.core.transport.MessageBus` and
+:class:`~repro.core.rings.Ring` is stamped with an owner and content
+fingerprint, and any mutate-after-send, double-enqueue, or
+use-after-dequeue violation fails the test with the offending send
+site and a field-level diff.
+"""
+
+import pytest
+
+from repro.analysis import sanitizer
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help=(
+            "run all tests under the zero-copy descriptor sanitizer; "
+            "ownership/aliasing violations fail the test"
+        ),
+    )
+
+
+@pytest.fixture(autouse=True)
+def _descriptor_sanitizer(request):
+    if not request.config.getoption("--sanitize"):
+        yield None
+        return
+    with sanitizer.sanitized() as san:
+        yield san
+    if san.violations:
+        pytest.fail(san.report(), pytrace=False)

@@ -1,0 +1,392 @@
+"""Tests for the determinism lint pass (repro.analysis.lint).
+
+Every rule gets at least one seeded-violation fixture that must fire
+and one clean fixture that must not, plus coverage for the noqa
+suppression convention, JSON output, and CLI exit codes.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import rules as rules_mod
+from repro.analysis.lint import iter_python_files, lint_file, lint_paths, main
+from repro.analysis.rules import RULE_REGISTRY, Finding, all_rules
+
+
+def run_lint(source, path="src/repro/example.py"):
+    """Lint an in-memory snippet as if it lived at ``path``."""
+    return lint_file(path, source=textwrap.dedent(source))
+
+
+def codes(findings):
+    return [f.code for f in findings]
+
+
+class TestRegistry:
+    def test_all_rules_registered(self):
+        assert set(RULE_REGISTRY) == {
+            "R001", "R002", "R003", "R004", "R005", "R006",
+        }
+
+    def test_all_rules_instantiates_in_code_order(self):
+        assert [r.code for r in all_rules()] == sorted(RULE_REGISTRY)
+
+    def test_duplicate_code_rejected(self):
+        with pytest.raises(ValueError):
+            @rules_mod.register_rule
+            class Duplicate(rules_mod.Rule):
+                code = "R001"
+
+    def test_rules_are_pluggable(self):
+        class Custom(rules_mod.Rule):
+            code = "R999"
+            name = "custom"
+
+            def check(self, ctx):
+                yield self.finding(ctx, ctx.tree, "always fires")
+
+        findings = lint_file(
+            "src/repro/x.py", rules=[Custom()], source="x = 1\n"
+        )
+        assert codes(findings) == ["R999"]
+
+
+class TestWallClockR001:
+    def test_fires_on_time_time(self):
+        findings = run_lint(
+            """
+            import time
+            def stamp():
+                return time.time()
+            """
+        )
+        assert "R001" in codes(findings)
+
+    def test_fires_on_datetime_now(self):
+        findings = run_lint(
+            """
+            import datetime
+            def stamp():
+                return datetime.datetime.now()
+            """
+        )
+        assert "R001" in codes(findings)
+
+    def test_fires_on_perf_counter_outside_benchmarks(self):
+        findings = run_lint(
+            """
+            import time
+            begin = time.perf_counter()
+            """,
+            path="src/repro/sim/engine_extra.py",
+        )
+        assert "R001" in codes(findings)
+
+    def test_perf_counter_allowed_in_experiments(self):
+        findings = run_lint(
+            """
+            import time
+            begin = time.perf_counter()
+            """,
+            path="src/repro/experiments/figXX.py",
+        )
+        assert "R001" not in codes(findings)
+
+    def test_clean_env_now_does_not_fire(self):
+        findings = run_lint(
+            """
+            def stamp(env):
+                return env.now
+            """
+        )
+        assert "R001" not in codes(findings)
+
+
+class TestUnseededRandomR002:
+    def test_fires_on_module_level_random(self):
+        findings = run_lint(
+            """
+            import random
+            def jitter():
+                return random.random()
+            """
+        )
+        assert "R002" in codes(findings)
+
+    def test_fires_on_seedless_random_instance(self):
+        findings = run_lint(
+            """
+            import random
+            rng = random.Random()
+            """
+        )
+        assert "R002" in codes(findings)
+
+    def test_seeded_random_instance_allowed(self):
+        findings = run_lint(
+            """
+            import random
+            rng = random.Random(42)
+            """
+        )
+        assert "R002" not in codes(findings)
+
+    def test_stream_rng_usage_allowed(self):
+        findings = run_lint(
+            """
+            from repro.sim.rng import StreamRNG
+            rng = StreamRNG(7).stream("arrivals")
+            value = rng.random()
+            """
+        )
+        assert "R002" not in codes(findings)
+
+
+class TestBlockingSleepR003:
+    def test_fires_on_time_sleep(self):
+        findings = run_lint(
+            """
+            import time
+            def handler(message, bus):
+                time.sleep(0.1)
+            """
+        )
+        assert "R003" in codes(findings)
+
+    def test_fires_on_imported_sleep_alias(self):
+        findings = run_lint(
+            """
+            from time import sleep as snooze
+            def proc(env):
+                snooze(1)
+            """
+        )
+        assert "R003" in codes(findings)
+
+    def test_env_timeout_allowed(self):
+        findings = run_lint(
+            """
+            def proc(env):
+                yield env.timeout(0.1)
+            """
+        )
+        assert "R003" not in codes(findings)
+
+
+class TestFrozenMessageR004:
+    def test_fires_on_unfrozen_dataclass_in_message_module(self):
+        findings = run_lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SomeRequest:
+                supi: str = "imsi-1"
+            """,
+            path="src/repro/sbi/messages.py",
+        )
+        assert "R004" in codes(findings)
+
+    def test_fires_on_dataclass_call_without_frozen(self):
+        findings = run_lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(eq=True)
+            class SomeIE:
+                value: int = 0
+            """,
+            path="src/repro/pfcp/ies.py",
+        )
+        assert "R004" in codes(findings)
+
+    def test_frozen_dataclass_passes(self):
+        findings = run_lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass(frozen=True)
+            class SomeRequest:
+                supi: str = "imsi-1"
+            """,
+            path="src/repro/sbi/messages.py",
+        )
+        assert "R004" not in codes(findings)
+
+    def test_non_message_module_not_checked(self):
+        findings = run_lint(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RuntimeState:
+                counter: int = 0
+            """,
+            path="src/repro/up/session.py",
+        )
+        assert "R004" not in codes(findings)
+
+
+class TestNowEqualityR005:
+    def test_fires_on_exact_equality(self):
+        findings = run_lint("ok = env.now == 1.5\n")
+        assert "R005" in codes(findings)
+
+    def test_fires_on_not_equal(self):
+        findings = run_lint("ok = 2.0 != env.now\n")
+        assert "R005" in codes(findings)
+
+    def test_approx_comparison_allowed(self):
+        findings = run_lint(
+            """
+            import pytest
+            ok = env.now == pytest.approx(1.5)
+            """
+        )
+        assert "R005" not in codes(findings)
+
+    def test_inequality_allowed(self):
+        findings = run_lint("ok = env.now >= 1.5\n")
+        assert "R005" not in codes(findings)
+
+
+class TestMutableDefaultR006:
+    def test_fires_on_list_default(self):
+        findings = run_lint(
+            """
+            def collect(items=[]):
+                return items
+            """
+        )
+        assert "R006" in codes(findings)
+
+    def test_fires_on_dict_kwonly_default(self):
+        findings = run_lint(
+            """
+            def configure(*, options={}):
+                return options
+            """
+        )
+        assert "R006" in codes(findings)
+
+    def test_none_default_allowed(self):
+        findings = run_lint(
+            """
+            def collect(items=None):
+                return items or []
+            """
+        )
+        assert "R006" not in codes(findings)
+
+    def test_dataclass_field_factory_allowed(self):
+        findings = run_lint(
+            """
+            from dataclasses import dataclass, field
+
+            @dataclass
+            class Holder:
+                items: list = field(default_factory=list)
+            """
+        )
+        assert "R006" not in codes(findings)
+
+
+class TestSuppression:
+    def test_bare_noqa_suppresses_all_codes(self):
+        findings = run_lint(
+            """
+            import time
+            t = time.time()  # repro: noqa
+            """
+        )
+        assert findings == []
+
+    def test_coded_noqa_suppresses_only_listed(self):
+        findings = run_lint(
+            """
+            import time
+            t = time.time()  # repro: noqa[R002]
+            """
+        )
+        assert "R001" in codes(findings)
+
+    def test_coded_noqa_matching_code(self):
+        findings = run_lint(
+            """
+            import time
+            t = time.time()  # repro: noqa[R001]
+            """
+        )
+        assert findings == []
+
+
+class TestRunnerAndCli:
+    def test_repo_is_clean(self):
+        """The acceptance gate: lint exits 0 on the whole repo."""
+        assert lint_paths(["src", "tests"]) == []
+
+    def test_cli_exit_zero_on_repo(self, capsys):
+        assert main(["src", "tests"]) == 0
+
+    def test_cli_exit_nonzero_on_violation(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        assert main([str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R001" in out
+        assert "bad.py:2:" in out
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(x=[]):\n    return x\n")
+        assert main(["--json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["code"] == "R006"
+        assert payload[0]["line"] == 1
+        assert payload[0]["severity"] == "error"
+
+    def test_cli_select_filters_rules(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\ndef f(x=[]):\n    pass\n")
+        assert main(["--select", "R006", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "R006" in out and "R001" not in out
+
+    def test_cli_ignore_filters_rules(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import time\nt = time.time()\n")
+        assert main(["--ignore", "R001", str(bad)]) == 0
+
+    def test_cli_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in sorted(RULE_REGISTRY):
+            assert code in out
+
+    def test_syntax_error_reported_not_raised(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        findings = lint_file(str(bad))
+        assert codes(findings) == ["R000"]
+
+    def test_iter_python_files_skips_hidden_and_pycache(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "x.py").write_text("")
+        (tmp_path / ".hidden").mkdir()
+        (tmp_path / ".hidden" / "y.py").write_text("")
+        (tmp_path / "ok.py").write_text("")
+        files = list(iter_python_files([str(tmp_path)]))
+        assert [f for f in files if f.endswith("ok.py")] == files
+
+    def test_finding_format(self):
+        finding = Finding(
+            path="src/x.py", line=3, col=7, code="R001",
+            severity="error", message="boom",
+        )
+        assert finding.format() == "src/x.py:3:7: R001 [error] boom"

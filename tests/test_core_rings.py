@@ -115,3 +115,80 @@ class TestBurst:
                 assert len(got) == len(expected)
             assert 0 <= len(ring) <= ring.capacity
             assert len(ring) == len(model)
+
+
+class TestEdgeCases:
+    @pytest.mark.parametrize(
+        "requested,expected",
+        [(1, 1), (2, 2), (3, 4), (5, 8), (100, 128), (1000, 1024), (1024, 1024)],
+    )
+    def test_non_power_of_two_capacity_rounds_up(self, requested, expected):
+        ring = Ring(requested)
+        assert ring.capacity == expected
+        # The rounded capacity is fully usable.
+        assert ring.enqueue_burst(list(range(expected + 3))) == expected
+        assert ring.is_full
+
+    def test_burst_wraparound_across_index_mask(self):
+        """Bursts that straddle the head/tail wrap point keep FIFO order."""
+        ring = Ring(8)
+        # Advance head/tail near the wrap point, then burst across it.
+        ring.enqueue_burst(list(range(6)))
+        assert ring.dequeue_burst(6) == list(range(6))
+        batch = list(range(100, 108))  # fills all 8 slots, wrapping at 8
+        assert ring.enqueue_burst(batch) == 8
+        assert ring.is_full
+        assert ring.dequeue_burst(8) == batch
+        # Many full cycles: indices exceed the mask repeatedly.
+        for cycle in range(50):
+            values = list(range(cycle * 10, cycle * 10 + 5))
+            assert ring.enqueue_burst(values) == 5
+            assert ring.dequeue_burst(5) == values
+        assert ring.enqueued == 6 + 8 + 250
+        assert ring.dequeued == ring.enqueued
+
+    def test_enqueue_failures_on_partial_bursts(self):
+        ring = Ring(4)
+        assert ring.enqueue_burst(list(range(3))) == 3
+        assert ring.enqueue_failures == 0
+        assert ring.enqueue_burst(list(range(3))) == 1  # 2 rejected
+        assert ring.enqueue_failures == 2
+        assert ring.enqueue_burst(list(range(5))) == 0  # full: all rejected
+        assert ring.enqueue_failures == 7
+        assert ring.enqueued == 4
+
+    def test_peek_then_clear(self):
+        ring = Ring(4)
+        ring.enqueue("a")
+        ring.enqueue("b")
+        assert ring.peek() == "a"
+        assert ring.clear() == 2
+        assert ring.peek() is None
+        assert ring.is_empty
+        # The ring is immediately reusable after a clear.
+        ring.enqueue("c")
+        assert ring.peek() == "c"
+        assert ring.dequeue() == "c"
+
+    def test_clear_accounts_discards_in_stats(self):
+        ring = Ring(8)
+        ring.enqueue_burst(list(range(5)))
+        ring.dequeue()
+        assert ring.clear() == 4
+        assert ring.dropped == 4
+        stats = ring.stats()
+        assert stats["dropped"] == 4
+        assert stats["enqueued"] == 5
+        assert stats["dequeued"] == 1
+        # Ledger invariant: everything enqueued is dequeued, dropped,
+        # or still queued.
+        assert (
+            stats["enqueued"]
+            == stats["dequeued"] + stats["dropped"] + stats["occupancy"]
+        )
+        assert "drop=4" in repr(ring)
+
+    def test_clear_empty_ring_drops_nothing(self):
+        ring = Ring(4)
+        assert ring.clear() == 0
+        assert ring.dropped == 0

@@ -68,6 +68,40 @@ class TestDelivery:
         assert received == []
         assert bus.lost == 1
 
+    def test_unknown_endpoint_recorded_in_drops(self):
+        env, bus = make_bus()
+        bus.send("ran", "ghost", "msg", name="Registration")
+        env.run()
+        assert len(bus.drops) == 1
+        drop = bus.drops[0]
+        assert drop.source == "ran"
+        assert drop.destination == "ghost"
+        assert drop.name == "Registration"
+        assert drop.reason == "unknown-endpoint"
+        assert drop.at > 0.0
+
+    def test_dead_endpoint_drop_reason_distinguished(self):
+        env, bus = make_bus()
+        bus.register("amf", lambda message, b: None)
+        bus.set_alive("amf", False)
+        bus.send("ran", "amf", "msg", name="ServiceRequest")
+        bus.send("ran", "ghost", "msg", name="ServiceRequest")
+        env.run()
+        reasons = {d.destination: d.reason for d in bus.drops}
+        assert reasons == {
+            "amf": "endpoint-down",
+            "ghost": "unknown-endpoint",
+        }
+        assert bus.lost == len(bus.drops) == 2
+
+    def test_delivered_messages_not_in_drops(self):
+        env, bus = make_bus()
+        bus.register("amf", lambda message, b: None)
+        bus.send("ran", "amf", "msg")
+        env.run()
+        assert bus.drops == []
+        assert bus.lost == 0
+
     def test_set_alive_unknown_raises(self):
         _env, bus = make_bus()
         with pytest.raises(KeyError):

@@ -16,21 +16,21 @@ from repro.sim import (
 
 class TestClock:
     def test_starts_at_zero(self):
-        assert Environment().now == 0.0
+        assert Environment().now == pytest.approx(0.0)
 
     def test_custom_start_time(self):
-        assert Environment(initial_time=5.0).now == 5.0
+        assert Environment(initial_time=5.0).now == pytest.approx(5.0)
 
     def test_timeout_advances_clock(self):
         env = Environment()
         env.timeout(1.5)
         env.run()
-        assert env.now == 1.5
+        assert env.now == pytest.approx(1.5)
 
     def test_run_until_advances_even_without_events(self):
         env = Environment()
         env.run(until=2.0)
-        assert env.now == 2.0
+        assert env.now == pytest.approx(2.0)
 
     def test_run_until_past_raises(self):
         env = Environment(initial_time=10.0)
@@ -43,7 +43,7 @@ class TestClock:
         env.timeout(5.0).callbacks.append(lambda event: fired.append(1))
         env.run(until=2.0)
         assert fired == []
-        assert env.now == 2.0
+        assert env.now == pytest.approx(2.0)
 
     def test_unit_constants(self):
         assert US == pytest.approx(1e-6)
