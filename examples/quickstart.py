@@ -6,8 +6,16 @@ uplink/downlink traffic, idle transition, paging — on the simulated
 shared-memory core, and prints what happened at each step.
 
     python examples/quickstart.py
+
+Set ``REPRO_TRACE=/path/to/trace.json`` to run the same scenario under
+:mod:`repro.obs` tracing and write a Chrome-trace file you can open in
+``chrome://tracing`` or https://ui.perfetto.dev (CI's obs smoke job
+does exactly this).
 """
 
+import os
+
+from repro import obs
 from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
 from repro.net import Direction, FiveTuple, Packet, int_to_ip
 from repro.sim import Environment
@@ -18,6 +26,8 @@ def main() -> None:
     core = FiveGCore(env, SystemConfig.l25gc())
     runner = ProcedureRunner(core)
     ue = core.add_ue("imsi-208930000000003")
+    trace_path = os.environ.get("REPRO_TRACE")
+    tracer = obs.enable(env) if trace_path else None
 
     def scenario():
         # 1. Register the UE (authentication, security mode, policy).
@@ -70,9 +80,18 @@ def main() -> None:
         ))
 
     env.process(scenario())
-    env.run()
+    try:
+        env.run()
+    finally:
+        if tracer is not None:
+            obs.disable()
     print(f"total messages: {core.bus.total_messages()} over "
           f"{core.config.sbi_channel.value}")
+    if tracer is not None:
+        doc = obs.write_chrome_trace(trace_path, tracer,
+                                     process_name="quickstart")
+        print(f"trace         : {trace_path} "
+              f"({len(doc['traceEvents'])} events)")
 
 
 if __name__ == "__main__":

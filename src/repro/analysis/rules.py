@@ -24,6 +24,11 @@ R004      SBI / PFCP / NAS message dataclasses must be declared
 R005      Float ``==`` / ``!=`` against ``env.now`` — use
           ``pytest.approx`` or interval checks.
 R006      Mutable default argument (list/dict/set) in ``src/repro``.
+R007      ``print()`` in library code under ``src/repro`` — results
+          belong in return values, metrics, or spans
+          (:mod:`repro.obs`), not stdout.  CLI entry points
+          (``__main__.py``, the lint runner) and ``experiments/`` /
+          ``benchmarks/`` harnesses are exempt.
 ========  ==================================================================
 
 Findings on a line carrying ``# repro: noqa`` (all rules) or
@@ -465,3 +470,43 @@ class MutableDefaultRule(Rule):
             dotted = _dotted(node.func)
             return dotted in ("list", "dict", "set", "bytearray")
         return False
+
+
+# ---------------------------------------------------------------------------
+# R007 — print() in library code
+# ---------------------------------------------------------------------------
+@register_rule
+class PrintInLibraryRule(Rule):
+    """Library modules must stay silent: a ``print`` buried in the
+    platform produces interleaved noise under concurrent procedures and
+    tempts ad-hoc debugging output into commits.  Results belong in
+    return values, metrics, or spans (:mod:`repro.obs`).  CLI entry
+    points and experiment harnesses legitimately talk to stdout and are
+    exempt."""
+
+    code = "R007"
+    name = "print-in-library"
+    severity = "warning"
+
+    #: Paths allowed to print: console entry points and the lint
+    #: runner itself (whose findings are its stdout contract).
+    EXEMPT_SUFFIXES = ("__main__.py", "analysis/lint.py")
+    EXEMPT_DIRS = ("experiments", "benchmarks")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.path_has("repro", "src"):
+            return
+        if ctx.path_has(*self.EXEMPT_DIRS):
+            return
+        if ctx.path_endswith(*self.EXEMPT_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Name) and node.func.id == "print":
+                yield self.finding(
+                    ctx,
+                    node,
+                    "print() in library code; return data, record a "
+                    "metric, or emit a span via repro.obs instead",
+                )

@@ -15,6 +15,7 @@ from __future__ import annotations
 from enum import Enum
 from typing import Iterable, Optional
 
+from ..obs import spans as _tracing
 from ..sim.engine import Environment, Event
 from .costs import DEFAULT_COSTS, CostModel
 from .pool import Descriptor, PacketAction, SharedMemoryPool
@@ -176,15 +177,38 @@ class NetworkFunction:
                 yield self.env.timeout(costs.poll_interval)
                 continue
             for descriptor in batch:
+                tracer = _tracing.active()
+                span = None
+                if tracer is not None:
+                    # Parent to the context the descriptor carried
+                    # through the ring, so the handle span slots into
+                    # the originating procedure's causal tree.
+                    span = tracer.start_span(
+                        f"nf-handle:{self.name}",
+                        category="nf",
+                        parent=tracer.context_of(descriptor),
+                        nf=self.name,
+                        service_id=self.service_id,
+                    )
                 work = self.processing_time(descriptor)
                 if work > 0:
                     yield self.env.timeout(work)
                 if self.status in (NFStatus.STOPPED, NFStatus.FAILED):
                     descriptor.free()
+                    if span is not None:
+                        span.end = self.env.now
+                        span.attrs["aborted"] = True
                     continue
+                outputs = 0
+                if span is not None:
+                    tracer.attach(descriptor, span)
                 for out in self.handle(descriptor):
                     self._tx(out)
+                    outputs += 1
                 self.handled += 1
+                if span is not None:
+                    span.end = self.env.now
+                    span.attrs["outputs"] = outputs
 
     def __repr__(self) -> str:
         return (

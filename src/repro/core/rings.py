@@ -7,6 +7,13 @@ a faithful in-Python counterpart: a fixed-size power-of-two circular
 buffer with separate head/tail counters, batch operations, and watermark
 statistics.  It is a real data structure — the micro-benchmarks in
 ``benchmarks/`` measure it directly.
+
+The accounting ledger (``enqueued`` / ``dequeued`` / ``dropped`` /
+``enqueue_failures`` / ``high_watermark``) is backed by
+:mod:`repro.obs.metrics` primitives; the int-returning attribute views
+and :meth:`Ring.stats` are kept for compatibility, and
+:meth:`Ring.register_into` exports the same objects into a
+:class:`~repro.obs.metrics.MetricsRegistry` — one tally, two views.
 """
 
 from __future__ import annotations
@@ -14,6 +21,8 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..analysis import sanitizer as _sanitizer
+from ..obs import spans as _tracing
+from ..obs.metrics import Counter, Gauge, MetricsRegistry
 
 __all__ = ["Ring", "RingFullError", "RingEmptyError"]
 
@@ -51,11 +60,11 @@ class Ring:
         "_slots",
         "_head",
         "_tail",
-        "enqueued",
-        "dequeued",
-        "dropped",
-        "enqueue_failures",
-        "high_watermark",
+        "_enqueued",
+        "_dequeued",
+        "_dropped",
+        "_enqueue_failures",
+        "_high_watermark",
     )
 
     def __init__(self, capacity: int = 1024, name: str = "ring"):
@@ -67,11 +76,11 @@ class Ring:
         self._slots: List[Any] = [None] * size
         self._head = 0  # next slot to write (producer)
         self._tail = 0  # next slot to read (consumer)
-        self.enqueued = 0
-        self.dequeued = 0
-        self.dropped = 0
-        self.enqueue_failures = 0
-        self.high_watermark = 0
+        self._enqueued = Counter(f"ring.{name}.enqueued")
+        self._dequeued = Counter(f"ring.{name}.dequeued")
+        self._dropped = Counter(f"ring.{name}.dropped")
+        self._enqueue_failures = Counter(f"ring.{name}.enqueue_failures")
+        self._high_watermark = Gauge(f"ring.{name}.high_watermark")
 
     # -- inspection ---------------------------------------------------------
     @property
@@ -95,21 +104,57 @@ class Ring:
     def is_full(self) -> bool:
         return len(self) == self.capacity
 
+    # -- counter views (compatibility with the pre-obs int attributes) ------
+    @property
+    def enqueued(self) -> int:
+        return self._enqueued.value
+
+    @property
+    def dequeued(self) -> int:
+        return self._dequeued.value
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped.value
+
+    @property
+    def enqueue_failures(self) -> int:
+        return self._enqueue_failures.value
+
+    @property
+    def high_watermark(self) -> int:
+        return int(self._high_watermark.value)
+
+    def register_into(self, registry: MetricsRegistry) -> None:
+        """Export this ring's counters/watermark into ``registry``."""
+        for metric in (
+            self._enqueued,
+            self._dequeued,
+            self._dropped,
+            self._enqueue_failures,
+            self._high_watermark,
+        ):
+            registry.register(metric)
+        registry.gauge(f"ring.{self.name}.occupancy").set_function(
+            lambda: len(self)
+        )
+
     # -- single operations ----------------------------------------------------
     def enqueue(self, descriptor: Any) -> None:
         """Push one descriptor; raises :class:`RingFullError` when full."""
         if self.is_full:
-            self.enqueue_failures += 1
+            self._enqueue_failures.inc()
             raise RingFullError(f"{self.name}: ring full ({self.capacity})")
         san = _sanitizer.active()
         if san is not None:
             san.on_enqueue(self.name, descriptor)
+        tracer = _tracing.active()
+        if tracer is not None:
+            tracer.on_ring_enqueue(self.name, descriptor)
         self._slots[self._head & self._mask] = descriptor
         self._head += 1
-        self.enqueued += 1
-        occupancy = len(self)
-        if occupancy > self.high_watermark:
-            self.high_watermark = occupancy
+        self._enqueued.inc()
+        self._high_watermark.set_max(len(self))
 
     def dequeue(self) -> Any:
         """Pop one descriptor; raises :class:`RingEmptyError` when empty."""
@@ -119,10 +164,13 @@ class Ring:
         descriptor = self._slots[index]
         self._slots[index] = None
         self._tail += 1
-        self.dequeued += 1
+        self._dequeued.inc()
         san = _sanitizer.active()
         if san is not None:
             san.on_dequeue(self.name, descriptor)
+        tracer = _tracing.active()
+        if tracer is not None:
+            tracer.on_ring_dequeue(self.name, descriptor)
         return descriptor
 
     # -- batch operations (the common fast path in ONVM) -----------------------
@@ -131,16 +179,17 @@ class Ring:
         space = self.free_count
         count = min(space, len(descriptors))
         san = _sanitizer.active()
+        tracer = _tracing.active()
         for i in range(count):
             if san is not None:
                 san.on_enqueue(self.name, descriptors[i])
+            if tracer is not None:
+                tracer.on_ring_enqueue(self.name, descriptors[i])
             self._slots[self._head & self._mask] = descriptors[i]
             self._head += 1
-        self.enqueued += count
-        self.enqueue_failures += len(descriptors) - count
-        occupancy = len(self)
-        if occupancy > self.high_watermark:
-            self.high_watermark = occupancy
+        self._enqueued.inc(count)
+        self._enqueue_failures.inc(len(descriptors) - count)
+        self._high_watermark.set_max(len(self))
         return count
 
     def dequeue_burst(self, max_count: int) -> List[Any]:
@@ -148,6 +197,7 @@ class Ring:
         count = min(max_count, len(self))
         out: List[Any] = []
         san = _sanitizer.active()
+        tracer = _tracing.active()
         for _ in range(count):
             index = self._tail & self._mask
             descriptor = self._slots[index]
@@ -155,8 +205,10 @@ class Ring:
             self._tail += 1
             if san is not None:
                 san.on_dequeue(self.name, descriptor)
+            if tracer is not None:
+                tracer.on_ring_dequeue(self.name, descriptor)
             out.append(descriptor)
-        self.dequeued += count
+        self._dequeued.inc(count)
         return out
 
     def peek(self) -> Optional[Any]:
@@ -174,16 +226,20 @@ class Ring:
         """
         count = len(self)
         san = _sanitizer.active()
-        if san is not None and count:
+        tracer = _tracing.active()
+        if count and (san is not None or tracer is not None):
             live = [
                 self._slots[index & self._mask]
                 for index in range(self._tail, self._head)
             ]
-            san.on_clear(self.name, live)
+            if san is not None:
+                san.on_clear(self.name, live)
+            if tracer is not None:
+                tracer.on_ring_clear(self.name, live)
         for i in range(len(self._slots)):
             self._slots[i] = None
         self._tail = self._head
-        self.dropped += count
+        self._dropped.inc(count)
         return count
 
     def stats(self) -> Dict[str, int]:

@@ -18,6 +18,8 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
 from ..analysis import sanitizer as _sanitizer
+from ..obs import spans as _tracing
+from ..obs.metrics import MetricsRegistry
 from ..sim.engine import Environment, Event
 from .costs import DEFAULT_COSTS, Channel, CostModel
 
@@ -102,8 +104,24 @@ class MessageBus:
         self.endpoints: Dict[str, Endpoint] = {}
         self.log: List[MessageRecord] = []
         self.drops: List[DropRecord] = []
-        #: Total undelivered messages; kept in lockstep with ``drops``.
-        self.lost = 0
+        #: Source of truth for the bus's tallies; :attr:`lost` and the
+        #: ``drops`` list are views/records over these counters.
+        self.metrics = MetricsRegistry()
+        self._delivered = self.metrics.counter(
+            "bus.delivered", "messages delivered to a live endpoint"
+        )
+        self._lost = self.metrics.counter(
+            "bus.lost", "messages the bus could not deliver"
+        )
+        self._latency = self.metrics.histogram(
+            "bus.message_latency", "transport + handler latency (s)"
+        )
+
+    @property
+    def lost(self) -> int:
+        """Total undelivered messages — a view over the ``bus.lost``
+        counter, so it can never diverge from ``len(drops)``."""
+        return self._lost.value
 
     # ------------------------------------------------------------------
     def register(
@@ -136,13 +154,17 @@ class MessageBus:
         size: int = 1024,
         handler_time: Optional[float] = None,
         name: Optional[str] = None,
+        interface: Optional[str] = None,
     ) -> Event:
         """Send ``message``; the returned event fires when the receiver's
         handler has *completed* (transport + handler time elapsed).
 
         ``handler_time`` overrides the cost model's default
         ``handler_processing`` — procedures use this for heavyweight
-        steps like authentication.
+        steps like authentication.  ``interface`` is a pure annotation
+        (``"sbi"`` / ``"n4"`` / ``"ngap"``) recorded on the message's
+        trace span for per-interface breakdowns; it does not affect
+        delivery.
         """
         channel = channel or self.default_channel
         done = self.env.event()
@@ -156,13 +178,47 @@ class MessageBus:
         san = _sanitizer.active()
         if san is not None:
             san.on_send(source, destination, message)
+        tracer = _tracing.active()
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                label,
+                category="message",
+                source=source,
+                destination=destination,
+                channel=channel.name.lower(),
+                size=size,
+                interface=interface or "",
+            )
+            tracer.attach(message, span)
         self.env.process(
             self._deliver(
                 source, destination, message, channel, size, latency,
-                work, label, done,
+                work, label, done, span,
             )
         )
         return done
+
+    def _drop(self, source: str, destination: str, label: str, reason: str) -> None:
+        """The single drop path: record + count, so ``lost`` and
+        ``drops`` cannot diverge."""
+        self._lost.inc()
+        self.drops.append(
+            DropRecord(
+                source=source,
+                destination=destination,
+                name=label,
+                reason=reason,
+                at=self.env.now,
+            )
+        )
+
+    def _finish_span(self, span: Any, message: Any, **attrs: Any) -> None:
+        span.end = self.env.now
+        span.attrs.update(attrs)
+        tracer = _tracing.active()
+        if tracer is not None:
+            tracer.detach(message)
 
     def _deliver(
         self,
@@ -175,28 +231,23 @@ class MessageBus:
         handler_time: float,
         label: str,
         done: Event,
+        span: Any = None,
     ):
         sent_at = self.env.now
         yield self.env.timeout(latency)
         endpoint = self.endpoints.get(destination)
         if endpoint is None or not endpoint.alive:
-            self.lost += 1
-            self.drops.append(
-                DropRecord(
-                    source=source,
-                    destination=destination,
-                    name=label,
-                    reason=(
-                        "unknown-endpoint"
-                        if endpoint is None
-                        else "endpoint-down"
-                    ),
-                    at=self.env.now,
-                )
+            self._drop(
+                source,
+                destination,
+                label,
+                "unknown-endpoint" if endpoint is None else "endpoint-down",
             )
             san = _sanitizer.active()
             if san is not None:
                 san.on_drop(message)
+            if span is not None:
+                self._finish_span(span, message, dropped=True)
             done.succeed(None)
             return
         delivered_at = self.env.now
@@ -209,6 +260,8 @@ class MessageBus:
         if extra:
             yield self.env.timeout(extra)
             handler_time += extra
+        self._delivered.inc()
+        self._latency.observe(self.env.now - sent_at)
         self.log.append(
             MessageRecord(
                 source=source,
@@ -221,7 +274,52 @@ class MessageBus:
                 handler_time=handler_time,
             )
         )
+        if span is not None:
+            self._emit_breakdown(
+                span, channel, size, sent_at, delivered_at, handler_time
+            )
+            self._finish_span(span, message)
         done.succeed(message)
+
+    def _emit_breakdown(
+        self,
+        span: Any,
+        channel: Channel,
+        size: int,
+        sent_at: float,
+        delivered_at: float,
+        handler_time: float,
+    ) -> None:
+        """Attach the Fig 6 cost components as child spans, post hoc.
+
+        The intervals are reconstructed from the :class:`CostModel`'s
+        decomposition of the transport latency that already elapsed —
+        no additional simulation events are created.
+        """
+        tracer = _tracing.active()
+        if tracer is None:
+            return
+        serialize = self.costs.serialize_cost(channel)
+        deserialize = self.costs.deserialize_cost(channel)
+        cursor = sent_at
+        for part, width in (
+            ("serialize", serialize),
+            ("protocol", max(0.0, (delivered_at - sent_at) - serialize - deserialize)),
+            ("deserialize", deserialize),
+        ):
+            tracer.add_span(
+                part, start=cursor, end=min(cursor + width, delivered_at),
+                category="cost", parent=span,
+            )
+            cursor += width
+        if handler_time > 0:
+            tracer.add_span(
+                "handler",
+                start=delivered_at,
+                end=delivered_at + handler_time,
+                category="cost",
+                parent=span,
+            )
 
     # ------------------------------------------------------------------
     def records_named(self, label: str) -> List[MessageRecord]:

@@ -21,6 +21,7 @@ from ..core.costs import DEFAULT_COSTS, Channel, CostModel
 from ..core.transport import MessageBus
 from ..net.addresses import AddressAllocator, ip_to_int
 from ..net.packet import Direction, Packet
+from ..obs.metrics import MetricsRegistry
 from ..pfcp.messages import PFCPMessage, SessionReportRequest, SessionReportResponse
 from ..ran.gnb import DEFAULT_GNB_BUFFER_PACKETS, GNodeB
 from ..ran.ue import UserEquipment
@@ -269,6 +270,7 @@ class FiveGCore:
                 ),
                 size=512,
                 handler_time=self.costs.handler_processing / 2,
+                interface="sbi",
             )
             self.nrf.discover(destination.upper())
             yield self.bus.send(
@@ -277,6 +279,7 @@ class FiveGCore:
                 NFDiscoveryResponse(),
                 size=1500,
                 handler_time=self.costs.handler_processing / 2,
+                interface="sbi",
             )
         yield self.bus.send(
             source,
@@ -284,6 +287,7 @@ class FiveGCore:
             request,
             size=1024,
             handler_time=request_handler_time,
+            interface="sbi",
         )
         yield self.bus.send(
             destination,
@@ -291,6 +295,7 @@ class FiveGCore:
             response,
             size=768,
             handler_time=response_handler_time,
+            interface="sbi",
         )
         return response
 
@@ -307,6 +312,7 @@ class FiveGCore:
             channel=self.config.n4_channel,
             size=len(message.encode()),
             handler_time=message.HANDLER_TIME,
+            interface="n4",
         )
         response = self.upf_c.handle(message)
         yield self.bus.send(
@@ -316,6 +322,7 @@ class FiveGCore:
             channel=self.config.n4_channel,
             size=len(response.encode()),
             handler_time=response.HANDLER_TIME,
+            interface="n4",
         )
         return response
 
@@ -335,6 +342,7 @@ class FiveGCore:
                 if handler_time is not None
                 else self.costs.handler_processing
             ),
+            interface="ngap",
         )
 
     # ------------------------------------------------------------------
@@ -377,6 +385,7 @@ class FiveGCore:
                 channel=self.config.n4_channel,
                 size=len(report.encode()),
                 handler_time=report.HANDLER_TIME,
+                interface="n4",
             )
             response = SessionReportResponse(
                 seid=report.seid, sequence=report.sequence
@@ -388,11 +397,31 @@ class FiveGCore:
                 channel=self.config.n4_channel,
                 size=len(response.encode()),
                 handler_time=response.HANDLER_TIME,
+                interface="n4",
             )
             if self.on_report is not None:
                 self.on_report(report)
 
         self.env.process(_notify())
+
+    # ------------------------------------------------------------------
+    def metrics_registry(self) -> MetricsRegistry:
+        """Assemble one registry over the core's live tallies.
+
+        The bus counters, the UPF-U rings and forwarding stats, and the
+        session count are all registered as the *same* objects (or
+        callback gauges over them) — a snapshot view, not a copy.
+        """
+        registry = MetricsRegistry()
+        for metric in self.bus.metrics:
+            registry.register(metric)
+        self.upf_u.stats.register_into(registry)
+        self.upf_u.rx_ring.register_into(registry)
+        self.upf_u.tx_ring.register_into(registry)
+        registry.gauge("sessions.active").set_function(
+            lambda: len(self.sessions)
+        )
+        return registry
 
     # ------------------------------------------------------------------
     def inject_downlink(self, packet: Packet) -> None:

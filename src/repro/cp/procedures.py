@@ -19,6 +19,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from ..net.packet import Direction, Packet, PacketKind
+from ..obs import spans as _tracing
 from ..pfcp.builder import (
     build_buffering_update,
     build_forward_update,
@@ -64,7 +65,31 @@ class ProcedureRunner:
     # Helpers
     # ------------------------------------------------------------------
     def _radio(self, duration: float):
+        tracer = _tracing.active()
+        if tracer is not None:
+            # The radio leg's extent is known up front; record it
+            # without adding any event beyond the timeout itself.
+            tracer.add_span(
+                "radio",
+                start=self.env.now,
+                end=self.env.now + duration,
+                category="radio",
+            )
         return self.env.timeout(duration)
+
+    def _step(self, name: str, **attrs: Any) -> Optional[_tracing.Span]:
+        """Open a named semantic step span (paper-named sub-phases)."""
+        tracer = _tracing.active()
+        if tracer is None:
+            return None
+        return tracer.begin(name, **attrs)
+
+    def _end_step(self, step: Optional[_tracing.Span], **attrs: Any) -> None:
+        if step is None:
+            return
+        tracer = _tracing.active()
+        if tracer is not None:
+            tracer.finish(step, **attrs)
 
     def _needs_discovery(self, source: str, destination: str) -> bool:
         # free5GC consults the NRF per SBI request (its OpenAPI
@@ -107,6 +132,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # UE registration (TS 23.502 §4.2.2.2)
     # ------------------------------------------------------------------
+    @_tracing.traced("registration")
     def register_ue(self, ue: UserEquipment, gnb_id: int = 1):
         """Initial registration: auth, security mode, policy, accept."""
         core, costs = self.core, self.costs
@@ -230,6 +256,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # Registration via untrusted non-3GPP access (TS 23.502 §4.12.2)
     # ------------------------------------------------------------------
+    @_tracing.traced("registration-non3gpp")
     def register_ue_non3gpp(self, ue: UserEquipment, n3iwf_id: int = 100):
         """Registration through an N3IWF with EAP-AKA' authentication.
 
@@ -347,6 +374,7 @@ class ProcedureRunner:
             signalling_spi=signalling_sa.spi,
         )
 
+    @_tracing.traced("session-request-non3gpp")
     def establish_session_non3gpp(
         self, ue: UserEquipment, pdu_session_id: int = 1
     ):
@@ -362,6 +390,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # PDU session establishment (TS 23.502 §4.3.2.2)
     # ------------------------------------------------------------------
+    @_tracing.traced("session-request")
     def establish_session(
         self, ue: UserEquipment, pdu_session_id: int = 1
     ):
@@ -504,6 +533,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # AN release: UE goes idle (paging precondition)
     # ------------------------------------------------------------------
+    @_tracing.traced("release-to-idle")
     def release_to_idle(self, ue: UserEquipment, pdu_session_id: int = 1):
         """UE-inactivity AN release: DL FAR flips to BUFF+NOCP."""
         core, costs = self.core, self.costs
@@ -536,6 +566,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # Paging / network-triggered service request (TS 23.502 §4.2.3.3)
     # ------------------------------------------------------------------
+    @_tracing.traced("paging")
     def page_ue(self, ue: UserEquipment, pdu_session_id: int = 1):
         """From the DL data report to reactivated DL forwarding.
 
@@ -610,6 +641,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # N2 handover (TS 23.502 §4.9.1.3)
     # ------------------------------------------------------------------
+    @_tracing.traced("handover")
     def handover(
         self,
         ue: UserEquipment,
@@ -666,7 +698,11 @@ class ProcedureRunner:
                 prep, ies=[ie for ie in prep.ies if isinstance(ie, FTeidIE)]
             )
             source_gnb.start_buffering(ue)
+        step = self._step(
+            "pfcp-session-modification-buffering", buffering_ie=smart
+        )
         response = yield from core.n4_exchange(prep)
+        self._end_step(step)
         allocated = response.find(FTeidIE)
         forwarding_teid = allocated.teid if allocated else 0
 
@@ -809,7 +845,11 @@ class ProcedureRunner:
             new_dl_teid=target_dl_teid,
         )
         core.dl_routes[target_dl_teid] = (target_gnb, ue)
+        # The UPF-C applies the FAR flip inside this exchange, so the
+        # smart buffer's drain span nests under the path-switch step.
+        step = self._step("pfcp-path-switch")
         yield from core.n4_exchange(switch)
+        self._end_step(step)
         sm.commit_handover()
 
         hairpinned = 0
@@ -847,6 +887,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # Xn handover (TS 23.502 §4.9.1.2)
     # ------------------------------------------------------------------
+    @_tracing.traced("xn-handover")
     def xn_handover(
         self,
         ue: UserEquipment,
@@ -926,6 +967,7 @@ class ProcedureRunner:
     # ------------------------------------------------------------------
     # UE-initiated deregistration (TS 23.502 §4.2.2.3)
     # ------------------------------------------------------------------
+    @_tracing.traced("deregistration")
     def deregister_ue(self, ue: UserEquipment):
         """Tear everything down: sessions, policies, registration."""
         core, costs = self.core, self.costs

@@ -1,0 +1,244 @@
+"""Exporters: Chrome-trace JSON for spans, JSON/CSV for metrics.
+
+The span exporter emits the ``chrome://tracing`` / Perfetto *trace
+event format* (the JSON-object form with a ``traceEvents`` array):
+finished spans become complete events (``ph: "X"``) with microsecond
+``ts``/``dur``, instants become ``ph: "i"``, and each root span gets
+its own thread id with a metadata (``ph: "M"``) ``thread_name`` event
+so every procedure renders on its own track.  Sim time maps directly
+onto trace time: 1 simulated second = 1e6 trace microseconds.
+
+``validate_chrome_trace`` is a deliberately strict structural check
+used by tests and the CI smoke job — it returns a list of problems
+(empty means the document loads cleanly in the trace viewers).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List, Optional
+
+from .metrics import MetricsRegistry
+from .spans import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "metrics_to_json",
+    "metrics_to_csv",
+    "render_tree",
+]
+
+_US = 1e6  # seconds -> trace microseconds
+
+
+def _json_safe(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def _track_of(span: Span, tracks: Dict[int, int]) -> int:
+    """Thread id = the span's root ancestor's track number."""
+    return tracks.get(span.span_id, 1)
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro-sim") -> Dict[str, Any]:
+    """Serialize the tracer's spans as a Chrome-trace JSON object."""
+    # Assign one track (tid) per root span, in creation order.
+    tracks: Dict[int, int] = {}
+    names: Dict[int, str] = {}
+    next_track = 1
+    for span in tracer.spans:
+        if span.parent_id is None:
+            tracks[span.span_id] = next_track
+            names[next_track] = span.name
+            next_track += 1
+        else:
+            tracks[span.span_id] = tracks.get(span.parent_id, 1)
+
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "ts": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for track, label in sorted(names.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": track,
+                "ts": 0,
+                "args": {"name": f"{track}:{label}"},
+            }
+        )
+    for span in tracer.spans:
+        tid = _track_of(span, tracks)
+        args = {key: _json_safe(value) for key, value in span.attrs.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.category == "instant":
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "i",
+                    "ts": span.start * _US,
+                    "pid": 1,
+                    "tid": tid,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.category,
+                    "ph": "X",
+                    "ts": span.start * _US,
+                    "dur": span.duration * _US,
+                    "pid": 1,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str, tracer: Tracer, process_name: str = "repro-sim"
+) -> Dict[str, Any]:
+    doc = chrome_trace(tracer, process_name=process_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1)
+    return doc
+
+
+_KNOWN_PHASES = {"X", "B", "E", "i", "I", "M", "C", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural validation against the trace-event format.
+
+    Returns human-readable problems; an empty list means valid.
+    Accepts either the JSON-object form (``{"traceEvents": [...]}``)
+    or the bare JSON-array form.
+    """
+    problems: List[str] = []
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            return ["top-level object lacks a 'traceEvents' array"]
+    elif isinstance(doc, list):
+        events = doc
+    else:
+        return [f"expected JSON object or array, got {type(doc).__name__}"]
+
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: bad or missing 'ph': {phase!r}")
+            continue
+        if not isinstance(event.get("name"), str):
+            problems.append(f"{where}: 'name' must be a string")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+            problems.append(f"{where}: 'ts' must be a non-negative number")
+        for key in ("pid", "tid"):
+            value = event.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(f"{where}: {key!r} must be an integer")
+        if phase == "X":
+            dur = event.get("dur")
+            if (
+                not isinstance(dur, (int, float))
+                or isinstance(dur, bool)
+                or dur < 0
+            ):
+                problems.append(
+                    f"{where}: complete event needs non-negative 'dur'"
+                )
+        if "args" in event and not isinstance(event["args"], dict):
+            problems.append(f"{where}: 'args' must be an object")
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Metrics dumps
+# ---------------------------------------------------------------------------
+
+def metrics_to_json(registry: MetricsRegistry) -> str:
+    """Flat JSON document: ``{name: {kind, value | summary...}}``."""
+    return json.dumps(registry.collect(), indent=2, sort_keys=True)
+
+
+def metrics_to_csv(registry: MetricsRegistry) -> str:
+    """Long-form CSV: one row per (metric, field)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["metric", "kind", "field", "value"])
+    for name, snapshot in registry.collect().items():
+        kind = snapshot["kind"]
+        for field, value in snapshot.items():
+            if field == "kind":
+                continue
+            writer.writerow([name, kind, field, value])
+    return buffer.getvalue()
+
+
+# ---------------------------------------------------------------------------
+# Terminal rendering
+# ---------------------------------------------------------------------------
+
+def _format_duration(seconds: float) -> str:
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.3f} ms"
+    return f"{seconds * 1e6:.1f} us"
+
+
+def render_tree(
+    tracer: Tracer,
+    root: Optional[Span] = None,
+    max_depth: Optional[int] = None,
+) -> str:
+    """ASCII rendering of a span tree (all roots when ``root`` is None)."""
+    lines: List[str] = []
+    roots = [root] if root is not None else tracer.roots()
+    for top in roots:
+        for span, depth in tracer.walk(top):
+            if max_depth is not None and depth > max_depth:
+                continue
+            indent = "  " * depth
+            marker = "+-" if depth else ""
+            extras = ""
+            interesting = {
+                key: value
+                for key, value in span.attrs.items()
+                if key in ("channel", "interface", "source", "destination",
+                           "ue", "released", "outcome", "nf")
+            }
+            if interesting:
+                extras = "  {" + ", ".join(
+                    f"{key}={value}" for key, value in sorted(interesting.items())
+                ) + "}"
+            at = f"@{span.start * 1e3:.3f}ms"
+            lines.append(
+                f"{indent}{marker}{span.name} [{span.category}] "
+                f"{_format_duration(span.duration)} {at}{extras}"
+            )
+    return "\n".join(lines)

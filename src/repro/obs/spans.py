@@ -1,0 +1,416 @@
+"""Spans, trace-context propagation, and the global tracer switch.
+
+A :class:`Span` is one timed interval on the simulation clock — a
+procedure, an SBI/PFCP/NGAP message in flight, a descriptor's residency
+in a ring, an NF handling a descriptor, a cost component inside a
+message.  Spans form a tree via ``parent_id``; one instrumented run of
+a 3GPP procedure yields its full causal tree with per-NF,
+per-interface, and per-cost-component timing (Figs 6 and 8 fall out of
+a single trace).
+
+Tracing follows the sanitizer's opt-in pattern
+(:mod:`repro.analysis.sanitizer`): a module-global instance that hot
+paths consult with ``active()`` — ``None`` means disabled and costs one
+attribute load.  All timestamps come from ``env.now`` (the R001 lint
+bans wall-clock reads), and the tracer never creates simulation events,
+so enabling it cannot perturb event ordering or any latency result.
+
+Context rides *along* objects, not inside them: descriptors and
+messages are never mutated (the zero-copy sanitizer would object).
+Instead the tracer keeps an ``id()``-keyed side table mapping live
+objects to the span that currently explains them — ``attach`` at the
+send/enqueue site, ``context_of`` at the dequeue/handle site.
+
+Concurrent procedures interleave arbitrarily in the event loop, so the
+"current span" cannot be a single global stack.  :func:`traced` wraps a
+procedure generator so that, on every resumption, the tracer's ambient
+stack is swapped to that procedure's own stack — each procedure sees
+only its own lineage, however the scheduler interleaves them.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "tracing",
+    "enable",
+    "disable",
+    "active",
+    "traced",
+]
+
+
+class Span:
+    """One timed interval on the sim clock, part of a causal tree."""
+
+    __slots__ = ("span_id", "name", "category", "start", "end",
+                 "parent_id", "attrs")
+
+    def __init__(
+        self,
+        span_id: int,
+        name: str,
+        category: str,
+        start: float,
+        parent_id: Optional[int] = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ):
+        self.span_id = span_id
+        self.name = name
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.parent_id = parent_id
+        self.attrs: Dict[str, Any] = attrs if attrs is not None else {}
+
+    @property
+    def duration(self) -> float:
+        """Sim-time extent; an unfinished span reads as zero-length."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def __repr__(self) -> str:
+        tail = f"..{self.end:.6f}" if self.end is not None else ".."
+        return (
+            f"Span(#{self.span_id} {self.name!r} [{self.category}] "
+            f"{self.start:.6f}{tail} parent={self.parent_id})"
+        )
+
+
+class Tracer:
+    """Collects spans and propagates trace context through the platform.
+
+    The tracer is pure bookkeeping: it reads ``env.now`` and appends to
+    lists.  It owns
+
+    * the flat ordered list of all spans (``spans``),
+    * the ambient span stack (swapped per-procedure by :func:`traced`),
+    * the ``id()``-keyed context side table linking in-flight
+      descriptors/messages to the span that explains them, and
+    * per-ring enqueue timestamps so dequeues can emit residency spans.
+    """
+
+    def __init__(self, env: Any):
+        self.env = env
+        self.spans: List[Span] = []
+        self._next_id = 1
+        self._stack: List[Span] = []
+        self._context: Dict[int, Span] = {}
+        self._ring_pending: Dict[int, Tuple[Optional[Span], float, str]] = {}
+        self._index: Dict[int, Span] = {}
+
+    # -- span lifecycle -----------------------------------------------------
+    @property
+    def current(self) -> Optional[Span]:
+        """Top of the ambient stack — the default parent for new spans."""
+        return self._stack[-1] if self._stack else None
+
+    def start_span(
+        self,
+        name: str,
+        category: str = "span",
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        if parent is None:
+            parent = self.current
+        span = Span(
+            span_id=self._next_id,
+            name=name,
+            category=category,
+            start=self.env.now,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._index[span.span_id] = span
+        return span
+
+    def end_span(self, span: Span, **attrs: Any) -> Span:
+        span.end = self.env.now
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        category: str = "span",
+        parent: Optional[Span] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record a fully formed interval (post-hoc breakdowns)."""
+        span = self.start_span(name, category=category, parent=parent, **attrs)
+        span.start = start
+        span.end = end
+        return span
+
+    def instant(
+        self, name: str, parent: Optional[Span] = None, **attrs: Any
+    ) -> Span:
+        """A zero-length marker (Chrome-trace instant event)."""
+        span = self.start_span(name, category="instant", parent=parent, **attrs)
+        span.end = span.start
+        return span
+
+    # -- ambient stack (procedure scoping) ----------------------------------
+    def push(self, span: Span) -> None:
+        self._stack.append(span)
+
+    def pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError(
+                f"span stack corruption: popping {span!r}, "
+                f"top is {self._stack[-1]!r}" if self._stack
+                else f"span stack corruption: popping {span!r} off empty stack"
+            )
+        self._stack.pop()
+
+    def swap_stack(self, stack: List[Span]) -> List[Span]:
+        """Install ``stack`` as the ambient stack; returns the old one."""
+        old = self._stack
+        self._stack = stack
+        return old
+
+    def begin(self, name: str, category: str = "step", **attrs: Any) -> Span:
+        """Start a span parented to ``current`` and make it current."""
+        span = self.start_span(name, category=category, **attrs)
+        self.push(span)
+        return span
+
+    def finish(self, span: Span, **attrs: Any) -> Span:
+        """End a span opened with :meth:`begin`."""
+        self.pop(span)
+        return self.end_span(span, **attrs)
+
+    # -- context propagation -------------------------------------------------
+    def attach(self, obj: Any, span: Span) -> None:
+        """Associate ``obj`` (descriptor/message) with ``span``."""
+        self._context[id(obj)] = span
+
+    def context_of(self, obj: Any) -> Optional[Span]:
+        return self._context.get(id(obj))
+
+    def detach(self, obj: Any) -> Optional[Span]:
+        return self._context.pop(id(obj), None)
+
+    # -- platform hook points ------------------------------------------------
+    # Called from Ring.enqueue/dequeue (which have no env reference —
+    # the tracer supplies the clock).  A descriptor's ring residency
+    # becomes a "ring-wait" span parented to whatever context the
+    # descriptor carried in, and the residency span becomes the
+    # descriptor's context on the way out, so an NF handle span nests
+    # under it.
+    def on_ring_enqueue(self, ring_name: str, descriptor: Any) -> None:
+        parent = self._context.get(id(descriptor)) or self.current
+        self._ring_pending[id(descriptor)] = (parent, self.env.now, ring_name)
+
+    def on_ring_dequeue(self, ring_name: str, descriptor: Any) -> None:
+        pending = self._ring_pending.pop(id(descriptor), None)
+        if pending is None:
+            return
+        parent, enqueued_at, enq_ring = pending
+        span = self.add_span(
+            f"ring-wait:{enq_ring}",
+            start=enqueued_at,
+            end=self.env.now,
+            category="ring",
+            parent=parent,
+            ring=enq_ring,
+        )
+        self._context[id(descriptor)] = span
+
+    def on_ring_clear(self, ring_name: str, descriptors: List[Any]) -> None:
+        for descriptor in descriptors:
+            pending = self._ring_pending.pop(id(descriptor), None)
+            if pending is None:
+                continue
+            parent, enqueued_at, enq_ring = pending
+            self.add_span(
+                f"ring-drop:{enq_ring}",
+                start=enqueued_at,
+                end=self.env.now,
+                category="ring",
+                parent=parent,
+                ring=enq_ring,
+                dropped=True,
+            )
+            self._context.pop(id(descriptor), None)
+
+    # -- queries -------------------------------------------------------------
+    def get(self, span_id: int) -> Optional[Span]:
+        return self._index.get(span_id)
+
+    def roots(self) -> List[Span]:
+        return [span for span in self.spans if span.parent_id is None]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def find(
+        self,
+        name: Optional[str] = None,
+        category: Optional[str] = None,
+        within: Optional[Span] = None,
+    ) -> List[Span]:
+        """Spans matching name/category, optionally under ``within``."""
+        if within is not None:
+            member_ids = {within.span_id}
+            for span in self.spans:  # spans list is in creation order
+                if span.parent_id in member_ids:
+                    member_ids.add(span.span_id)
+            pool = [s for s in self.spans if s.span_id in member_ids]
+        else:
+            pool = self.spans
+        return [
+            span
+            for span in pool
+            if (name is None or span.name == name)
+            and (category is None or span.category == category)
+        ]
+
+    def walk(
+        self, span: Span, depth: int = 0
+    ) -> Iterator[Tuple[Span, int]]:
+        """Depth-first (span, depth) pairs of the subtree at ``span``."""
+        yield span, depth
+        for child in self.children(span):
+            yield from self.walk(child, depth + 1)
+
+
+# ---------------------------------------------------------------------------
+# Global switch — mirrors repro.analysis.sanitizer.
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Optional[Tracer] = None
+
+
+def enable(env: Any) -> Tracer:
+    """Install and return a fresh tracer clocked by ``env``."""
+    global _ACTIVE
+    _ACTIVE = Tracer(env)
+    return _ACTIVE
+
+
+def disable() -> Optional[Tracer]:
+    """Remove the active tracer (keeps its spans) and return it."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def active() -> Optional[Tracer]:
+    """The tracer hot paths should report to, or None when disabled."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing(env: Any) -> Iterator[Tracer]:
+    """``with tracing(env) as tr: ...`` — scoped opt-in, like
+    :func:`repro.analysis.sanitizer.sanitized`."""
+    tracer = enable(env)
+    try:
+        yield tracer
+    finally:
+        if _ACTIVE is tracer:
+            disable()
+
+
+# ---------------------------------------------------------------------------
+# Procedure wrapping
+# ---------------------------------------------------------------------------
+
+def traced(name: str, category: str = "procedure") -> Callable:
+    """Decorate a generator method so each call runs under a root span.
+
+    The wrapper gives the procedure its own span stack and swaps it in
+    around every ``send``/``throw`` into the inner generator, then
+    restores the previous ambient stack before yielding back to the
+    scheduler.  Concurrent procedures therefore never see each other's
+    spans as parents, and semantic child spans opened with
+    ``Tracer.begin`` stay current across yields within one procedure.
+
+    With tracing disabled the original generator is returned untouched
+    — zero overhead, identical object identity semantics.
+    """
+
+    def decorator(fn: Callable) -> Callable:
+        @functools.wraps(fn)
+        def wrapper(self: Any, *args: Any, **kwargs: Any):
+            generator = fn(self, *args, **kwargs)
+            tracer = active()
+            if tracer is None:
+                return generator
+            return _run_traced(tracer, name, category, generator, args, kwargs)
+
+        return wrapper
+
+    return decorator
+
+
+def _procedure_attrs(args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Dict[str, Any]:
+    attrs: Dict[str, Any] = {}
+    for value in args:
+        supi = getattr(value, "supi", None)
+        if isinstance(supi, str):
+            attrs["ue"] = supi
+            break
+    for key, value in kwargs.items():
+        if isinstance(value, (str, int, float, bool)):
+            attrs[key] = value
+    return attrs
+
+
+def _run_traced(
+    tracer: Tracer,
+    name: str,
+    category: str,
+    generator: Any,
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+):
+    root = tracer.start_span(
+        name, category=category, **_procedure_attrs(args, kwargs)
+    )
+    stack: List[Span] = [root]
+    to_send: Any = None
+    to_throw: Optional[BaseException] = None
+    while True:
+        previous = tracer.swap_stack(stack)
+        try:
+            if to_throw is not None:
+                pending, to_throw = to_throw, None
+                item = generator.throw(pending)
+            else:
+                item = generator.send(to_send)
+        except StopIteration as stop:
+            tracer.end_span(root)
+            return stop.value
+        except BaseException:
+            tracer.end_span(root, error=True)
+            raise
+        finally:
+            tracer.swap_stack(previous)
+        try:
+            to_send = yield item
+        except BaseException as exc:  # forwarded into the procedure
+            to_throw = exc

@@ -17,11 +17,17 @@ __all__ = ["LatencySeries", "summarize", "Summary", "percentile"]
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolated percentile of ``values`` (fraction in 0..1)."""
-    if not values:
-        raise ValueError("no values")
+    """Linear-interpolated percentile of ``values`` (fraction in 0..1).
+
+    Returns ``nan`` for an empty sequence: an empty measurement window
+    (a short run, a warmup of zero) is an absent statistic, not a
+    crash.  Comparisons against ``nan`` are False, so downstream
+    "elevated RTT" style counts degrade to zero.
+    """
     if not 0.0 <= fraction <= 1.0:
         raise ValueError(f"fraction out of range: {fraction!r}")
+    if not values:
+        return math.nan
     ordered = sorted(values)
     if len(ordered) == 1:
         return ordered[0]

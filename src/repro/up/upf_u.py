@@ -17,13 +17,15 @@ The pipeline is usable in two ways:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional
 
 from ..core.costs import DEFAULT_COSTS, CostModel
 from ..core.nf import NetworkFunction
 from ..core.pool import Descriptor
 from ..net.packet import Direction, Packet
+from ..obs import spans as _tracing
+from ..obs.metrics import MetricsRegistry
 from ..pfcp import ies as pfcp_ies
 from .rules import FAR, PDR
 from .session import SessionTable, UPFSession
@@ -59,6 +61,23 @@ class ForwardingStats:
             + self.dropped_buffer_full
             + self.dropped_qos
         )
+
+    def register_into(
+        self, registry: MetricsRegistry, prefix: str = "upf_u"
+    ) -> None:
+        """Export every counter (and the derived sums) as live gauges.
+
+        Callback-backed gauges keep this dataclass the storage and the
+        registry a view — the experiments keep reading plain ints.
+        """
+        for spec in fields(self):
+            registry.gauge(f"{prefix}.{spec.name}").set_function(
+                lambda name=spec.name: getattr(self, name)
+            )
+        registry.gauge(f"{prefix}.forwarded").set_function(
+            lambda: self.forwarded
+        )
+        registry.gauge(f"{prefix}.dropped").set_function(lambda: self.dropped)
 
 
 class UPFUserPlane(NetworkFunction):
@@ -130,20 +149,57 @@ class UPFUserPlane(NetworkFunction):
     # Direct API
     # ------------------------------------------------------------------
     def process(self, packet: Packet) -> None:
-        """Run the full match-action pipeline on one packet."""
+        """Run the full match-action pipeline on one packet.
+
+        With tracing on, the packet gets a ``upf-u.pipeline`` span with
+        per-stage instants (session lookup, PDR match, FAR apply) and a
+        final ``outcome`` attribute — the per-stage attribution the
+        5GC²ache-style analyses need.  With tracing off the pipeline
+        runs the exact same statements.
+        """
+        tracer = _tracing.active()
+        if tracer is None:
+            self._pipeline(packet, None, None)
+            return
+        span = tracer.start_span(
+            "upf-u.pipeline",
+            category="packet",
+            parent=tracer.context_of(packet) or tracer.current,
+            direction=packet.direction.name.lower(),
+            size=packet.size,
+        )
+        outcome = self._pipeline(packet, tracer, span)
+        span.end = self.env.now
+        span.attrs["outcome"] = outcome
+
+    def _pipeline(
+        self,
+        packet: Packet,
+        tracer: Optional["_tracing.Tracer"],
+        span: Optional["_tracing.Span"],
+    ) -> str:
         session = self._lookup_session(packet)
+        if tracer is not None:
+            tracer.instant(
+                "session-lookup", parent=span, hit=session is not None
+            )
         if session is None:
             self.stats.dropped_no_session += 1
-            return
+            return "drop-no-session"
         pdr = session.match_pdr(packet)
+        if tracer is not None:
+            tracer.instant("pdr-match", parent=span, matched=pdr is not None)
         if pdr is None:
             self.stats.dropped_no_pdr += 1
-            return
+            return "drop-no-pdr"
         far = session.fars.get(pdr.far_id)
         if far is None:
             self.stats.dropped_no_pdr += 1
-            return
-        self._apply(packet, session, pdr, far)
+            return "drop-no-far"
+        outcome = self._apply(packet, session, pdr, far)
+        if tracer is not None:
+            tracer.instant("far-apply", parent=span, outcome=outcome)
+        return outcome
 
     def _lookup_session(self, packet: Packet) -> Optional[UPFSession]:
         if packet.direction is Direction.UPLINK:
@@ -154,11 +210,11 @@ class UPFUserPlane(NetworkFunction):
 
     def _apply(
         self, packet: Packet, session: UPFSession, pdr: PDR, far: FAR
-    ) -> None:
+    ) -> str:
         action = far.action
         if action.drop:
             self.stats.dropped_action += 1
-            return
+            return "drop-action"
         # QoS enforcement (QER): gate + MBR token-bucket policing runs
         # before any forwarding/buffering decision.
         if pdr.qer_id is not None:
@@ -167,7 +223,7 @@ class UPFUserPlane(NetworkFunction):
                 packet, self.env.now
             ):
                 self.stats.dropped_qos += 1
-                return
+                return "drop-qos"
         # Usage metering (URR): count the packet; raise a usage report
         # when the volume threshold trips.
         if pdr.urr_id is not None:
@@ -179,19 +235,22 @@ class UPFUserPlane(NetworkFunction):
             if len(session.buffer) >= self._effective_capacity(session):
                 session.buffer.dropped += 1
                 self.stats.dropped_buffer_full += 1
+                outcome = "drop-buffer-full"
             elif session.buffer.push(packet):
                 self.stats.buffered += 1
+                outcome = "buffered"
             else:
                 self.stats.dropped_buffer_full += 1
+                outcome = "drop-buffer-full"
             if action.notify_cp and not session.report_pending:
                 session.report_pending = True
                 self.stats.notifications += 1
                 self.notify_cp(session)
-            return
+            return outcome
         if not action.forward:
             self.stats.dropped_action += 1
-            return
-        self._forward(packet, pdr, far, session)
+            return "drop-action"
+        return self._forward(packet, pdr, far, session)
 
     def _forward(
         self,
@@ -199,26 +258,27 @@ class UPFUserPlane(NetworkFunction):
         pdr: PDR,
         far: FAR,
         session: Optional[UPFSession] = None,
-    ) -> None:
+    ) -> str:
         action = far.action
         if action.destination_interface == pfcp_ies.ACCESS:
             # Downlink: encapsulate towards the gNB.
             if action.outer_teid is None or action.outer_address is None:
                 self.stats.dropped_action += 1
-                return
+                return "drop-action"
             if session is not None and not self._admit_behind_drain(
                 packet, session
             ):
-                return
+                return "drop-buffer-full"
             packet.teid = action.outer_teid
             self.stats.forwarded_dl += 1
             self.downlink_sink(packet, action.outer_teid, action.outer_address)
-        else:
-            # Uplink: outer header already removed by the PDR; to DN.
-            if pdr.outer_header_removal:
-                packet.teid = None
-            self.stats.forwarded_ul += 1
-            self.uplink_sink(packet)
+            return "forwarded-dl"
+        # Uplink: outer header already removed by the PDR; to DN.
+        if pdr.outer_header_removal:
+            packet.teid = None
+        self.stats.forwarded_ul += 1
+        self.uplink_sink(packet)
+        return "forwarded-ul"
 
     # ------------------------------------------------------------------
     # Buffer release (invoked by the UPF-C on FAR transitions)
@@ -293,6 +353,19 @@ class UPFUserPlane(NetworkFunction):
             )
         self._drain_until[session.seid] = start + len(released) * reinject
         session.report_pending = False
+        tracer = _tracing.active()
+        if tracer is not None:
+            # The drain's extent is known analytically (serial
+            # re-injection), so the span is recorded post hoc without
+            # scheduling any simulation event.
+            tracer.add_span(
+                "buffer-drain",
+                start=now,
+                end=start + len(released) * reinject,
+                category="drain",
+                seid=session.seid,
+                released=len(released),
+            )
         return len(released)
 
     def _downlink_far(self, session: UPFSession) -> Optional[FAR]:

@@ -27,7 +27,7 @@ def codes(findings):
 class TestRegistry:
     def test_all_rules_registered(self):
         assert set(RULE_REGISTRY) == {
-            "R001", "R002", "R003", "R004", "R005", "R006",
+            "R001", "R002", "R003", "R004", "R005", "R006", "R007",
         }
 
     def test_all_rules_instantiates_in_code_order(self):
@@ -291,6 +291,57 @@ class TestMutableDefaultR006:
             """
         )
         assert "R006" not in codes(findings)
+
+
+class TestPrintInLibraryR007:
+    SNIPPET = """
+        def report(value):
+            print("value:", value)
+        """
+
+    def test_fires_in_library_code(self):
+        findings = run_lint(self.SNIPPET, path="src/repro/core/rings.py")
+        assert "R007" in codes(findings)
+
+    def test_exempt_in_main_modules(self):
+        findings = run_lint(self.SNIPPET, path="src/repro/obs/__main__.py")
+        assert "R007" not in codes(findings)
+
+    def test_exempt_in_experiments(self):
+        findings = run_lint(
+            self.SNIPPET, path="src/repro/experiments/fig08.py"
+        )
+        assert "R007" not in codes(findings)
+
+    def test_exempt_lint_runner(self):
+        findings = run_lint(
+            self.SNIPPET, path="src/repro/analysis/lint.py"
+        )
+        assert "R007" not in codes(findings)
+
+    def test_not_applied_outside_src(self):
+        findings = run_lint(self.SNIPPET, path="tests/test_example.py")
+        assert "R007" not in codes(findings)
+
+    def test_shadowed_print_method_allowed(self):
+        findings = run_lint(
+            """
+            def emit(writer):
+                writer.print("ok")
+            """,
+            path="src/repro/core/nf.py",
+        )
+        assert "R007" not in codes(findings)
+
+    def test_noqa_suppresses(self):
+        findings = run_lint(
+            """
+            def debug(value):
+                print(value)  # repro: noqa[R007]
+            """,
+            path="src/repro/core/nf.py",
+        )
+        assert "R007" not in codes(findings)
 
 
 class TestSuppression:

@@ -116,6 +116,34 @@ class TestDelivery:
         assert record.handler_time == pytest.approx(3e-3)
 
 
+class TestMetricsView:
+    def test_lost_is_a_view_over_the_drop_counter(self):
+        """``bus.lost`` is derived from the metrics counter; both must
+        always agree with the structured drop records."""
+        env, bus = make_bus()
+        bus.register("amf", lambda message, b: None)
+        bus.set_alive("amf", False)
+        bus.send("ran", "amf", "msg")
+        bus.send("ran", "ghost", "msg")
+        bus.send("ran", "ghost", "msg")
+        env.run()
+        assert bus.lost == len(bus.drops) == 3
+        assert bus.metrics.get("bus.lost").value == bus.lost
+
+    def test_delivered_counter_and_latency_histogram(self):
+        env, bus = make_bus()
+        bus.register("amf", lambda message, b: None)
+        bus.send("ran", "amf", "a", handler_time=0.0)
+        bus.send("ran", "amf", "b", handler_time=0.0)
+        env.run()
+        assert bus.metrics.get("bus.delivered").value == 2
+        histogram = bus.metrics.get("bus.message_latency")
+        assert histogram.count == 2
+        assert histogram.min == pytest.approx(
+            DEFAULT_COSTS.message_cost(Channel.SHARED_MEMORY)
+        )
+
+
 class TestLog:
     def test_records_have_latency_fields(self):
         env, bus = make_bus()

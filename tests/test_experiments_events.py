@@ -1,6 +1,8 @@
 """Shape tests for the event-coupled data-plane experiments
 (Figs 12-14, Tables 1-2, §5.4.2)."""
 
+import math
+
 import pytest
 
 from repro.cp.core5g import SystemConfig
@@ -122,6 +124,36 @@ class TestFig14Table2:
             multi["free5gc"].elevated_packets
             >= single["free5gc"].elevated_packets
         )
+
+
+class TestShortRunRegressions:
+    """Degenerate measurement windows must degrade, not crash.
+
+    Both fig13 and fig14 take a percentile over ``series.window(...)``;
+    with a zero-length warmup (or a handover at t=0) that window is
+    empty and the base RTT is an absent statistic (nan), which in turn
+    zeroes the elevated-packet count."""
+
+    def test_fig13_zero_warmup(self):
+        observation = paging_data_plane(
+            SystemConfig.l25gc(), warmup=0.0, tail=0.15, rate_pps=1000
+        )
+        assert math.isnan(observation.base_rtt_s)
+        assert observation.elevated_packets == 0
+        assert observation.paging_time_s > 0
+        assert len(observation.series) > 0
+
+    def test_fig14_handover_at_zero(self):
+        observation = handover_data_plane(
+            SystemConfig.l25gc(),
+            handover_at=0.0,
+            run_until=0.3,
+            rate_pps=1000,
+        )
+        assert math.isnan(observation.base_rtt_s)
+        assert observation.elevated_packets == 0
+        assert observation.handover_time_s > 0
+        assert len(observation.series) > 0
 
 
 class TestSmartBufferingEquations:

@@ -1,5 +1,7 @@
 """Tests for traffic generation and latency measurement."""
 
+import math
+
 import pytest
 
 from repro.net import FiveTuple, Packet
@@ -77,9 +79,11 @@ class TestPercentile:
     def test_interpolation(self):
         assert percentile([0, 10], 0.5) == pytest.approx(5)
 
-    def test_empty_raises(self):
-        with pytest.raises(ValueError):
-            percentile([], 0.5)
+    def test_empty_returns_nan(self):
+        # Empty measurement windows are absent statistics, not crashes
+        # (fig13/fig14 hit this with short runs).
+        assert math.isnan(percentile([], 0.5))
+        assert math.isnan(percentile((), 0.0))
 
     def test_out_of_range_raises(self):
         with pytest.raises(ValueError):
