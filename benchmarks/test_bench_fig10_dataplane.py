@@ -7,6 +7,7 @@ Also micro-benchmarks the real UPF-U forwarding pipeline per packet.
 import pytest
 
 from repro.experiments.fig10 import (
+    flow_cache_ablation,
     latency_vs_packet_size,
     scaling_40g,
     throughput_vs_packet_size,
@@ -89,6 +90,38 @@ def test_fig10_latency_table(benchmark, table):
     )
     for row in rows:
         assert row.free5gc_s > 4 * row.l25gc_s
+
+
+def test_flow_cache_ablation_table(benchmark, table):
+    """Cached-vs-uncached CPU-limited forwarding rate per packet size
+    (not line-rate capped: the ablation isolates match-pipeline cost)."""
+    rows = benchmark.pedantic(flow_cache_ablation, rounds=1, iterations=1)
+    table(
+        "Flow-cache ablation: CPU-limited forwarding rate (Mpps)",
+        ["size_B", "l25gc", "l25gc_cached", "speedup_x",
+         "free5gc", "free5gc_cached", "speedup_x"],
+        [
+            (
+                row.size,
+                row.l25gc_mpps,
+                row.l25gc_cached_mpps,
+                row.l25gc_speedup,
+                row.free5gc_mpps,
+                row.free5gc_cached_mpps,
+                row.free5gc_speedup,
+            )
+            for row in rows
+        ],
+    )
+    at68 = next(row for row in rows if row.size == 68)
+    at1500 = next(row for row in rows if row.size == 1500)
+    # Memoizing the match buys the most where per-packet overhead
+    # dominates: small packets, and more on the kernel path than DPDK.
+    assert at68.l25gc_speedup > 1.2
+    assert at68.free5gc_speedup > 1.2
+    assert at68.l25gc_speedup > at1500.l25gc_speedup > 1.0
+    benchmark.extra_info["l25gc_cached_speedup_68B"] = at68.l25gc_speedup
+    benchmark.extra_info["free5gc_cached_speedup_68B"] = at68.free5gc_speedup
 
 
 def test_40g_scaling_table(benchmark, table):

@@ -9,6 +9,7 @@ import pytest
 from repro.experiments.fig11 import (
     CLASSIFIER_VARIANTS,
     build_classifier,
+    cached_lookup_sweep,
     lookup_latency_sweep,
     update_latency,
 )
@@ -68,6 +69,33 @@ def test_fig11_latency_table(benchmark, table):
     benchmark.extra_info["ps_speedup_over_ll_1k"] = (
         large.latency_s["PDR-LL"] / large.latency_s["PDR-PS"]
     )
+
+
+def test_cached_lookup_ablation_table(benchmark, table):
+    """Flow-cache ablation: the memoized probe vs the raw classifier,
+    across rule counts (both real wall-clock measurements)."""
+    rows = benchmark.pedantic(
+        cached_lookup_sweep,
+        kwargs={"rule_counts": SWEEP_COUNTS},
+        rounds=1,
+        iterations=1,
+    )
+    table(
+        "Flow-cache ablation: PDR-PS lookup vs cached decision (us)",
+        ["rules", "uncached_us", "cached_us", "speedup_x"],
+        [
+            (row.rules, row.uncached_s * 1e6, row.cached_s * 1e6, row.speedup)
+            for row in rows
+        ],
+    )
+    # The cached probe is O(1): roughly flat while the classifier walk
+    # grows, so the gap must widen with the rule count.
+    large = next(row for row in rows if row.rules == 1000)
+    small = next(row for row in rows if row.rules == 2)
+    assert large.speedup > 2.0
+    assert large.speedup > small.speedup
+    assert large.cached_s < 5 * small.cached_s
+    benchmark.extra_info["cached_speedup_1k_rules"] = large.speedup
 
 
 def test_pdr_update_table(benchmark, table):

@@ -39,16 +39,25 @@ class Classifier:
         for rule in rules:
             self.insert(rule)
 
+    def remove_by_id(self, rule_id: int) -> bool:
+        """Remove the stored rule carrying ``rule_id``; True if found.
+
+        Subclasses override this with an id-indexed fast path — the
+        default falls back to :meth:`rules`, which snapshots the whole
+        rule set and is O(n) regardless of structure.
+        """
+        for existing in self.rules():
+            if existing.rule_id == rule_id:
+                return self.remove(existing)
+        return False
+
     def update(self, rule: Rule) -> None:
         """Replace the rule with the same rule_id (PDR update path).
 
         The stored rule may have different match ranges, so it is
         located by id rather than by position.
         """
-        for existing in self.rules():
-            if existing.rule_id == rule.rule_id:
-                self.remove(existing)
-                break
+        self.remove_by_id(rule.rule_id)
         self.insert(rule)
 
     def rules(self) -> List[Rule]:

@@ -34,8 +34,12 @@ class LinearClassifier(Classifier):
         self._sort_keys.insert(position, -rule.priority)
 
     def remove(self, rule: Rule) -> bool:
+        return self.remove_by_id(rule.rule_id)
+
+    def remove_by_id(self, rule_id: int) -> bool:
+        """In-place scan by id — no :meth:`rules` snapshot copy."""
         for index, existing in enumerate(self._rules):
-            if existing.rule_id == rule.rule_id:
+            if existing.rule_id == rule_id:
                 del self._rules[index]
                 del self._sort_keys[index]
                 return True

@@ -183,6 +183,9 @@ class PartitionSortClassifier(Classifier):
         )
         self._partitions: List[_SortableRuleset] = []
         self._count = 0
+        #: rule_id -> stored rule: removals by id locate the rule with
+        #: one dict probe, then binary-search only its partition.
+        self._by_id: Dict[int, Rule] = {}
 
     @property
     def num_partitions(self) -> int:
@@ -197,12 +200,14 @@ class PartitionSortClassifier(Classifier):
         for partition in sorted(self._partitions, key=len, reverse=True):
             if partition.try_insert(rule):
                 self._count += 1
+                self._by_id[rule.rule_id] = rule
                 self._resort()
                 return
         fresh = _SortableRuleset(self._field_order)
         fresh.try_insert(rule)
         self._partitions.append(fresh)
         self._count += 1
+        self._by_id[rule.rule_id] = rule
         self._resort()
 
     def _resort(self) -> None:
@@ -216,9 +221,17 @@ class PartitionSortClassifier(Classifier):
                 self._count -= 1
                 if len(partition) == 0:
                     self._partitions.remove(partition)
+                self._by_id.pop(rule.rule_id, None)
                 self._resort()
                 return True
         return False
+
+    def remove_by_id(self, rule_id: int) -> bool:
+        """Id-indexed removal avoiding the rules() snapshot."""
+        rule = self._by_id.get(rule_id)
+        if rule is None:
+            return False
+        return self.remove(rule)
 
     def lookup(self, key: Sequence[int]) -> Optional[Rule]:
         best: Optional[Rule] = None

@@ -94,6 +94,9 @@ class TupleSpaceClassifier(Classifier):
     def __init__(self) -> None:
         self._tables: Dict[_Signature, _SubTable] = {}
         self._count = 0
+        #: rule_id -> stored rule, so removals by id skip the full
+        #: rules() snapshot and go straight to the owning sub-table.
+        self._by_id: Dict[int, Rule] = {}
 
     @property
     def num_subtables(self) -> int:
@@ -113,6 +116,7 @@ class TupleSpaceClassifier(Classifier):
             self._tables[signature] = table  # type: ignore[index]
         table.insert(rule)
         self._count += 1
+        self._by_id[rule.rule_id] = rule
 
     def remove(self, rule: Rule) -> bool:
         signature = rule.tuple_signature()
@@ -123,8 +127,16 @@ class TupleSpaceClassifier(Classifier):
             self._count -= 1
             if len(table) == 0:
                 del self._tables[signature]  # type: ignore[arg-type]
+            self._by_id.pop(rule.rule_id, None)
             return True
         return False
+
+    def remove_by_id(self, rule_id: int) -> bool:
+        """Id-indexed removal: one dict probe to the stored rule."""
+        rule = self._by_id.get(rule_id)
+        if rule is None:
+            return False
+        return self.remove(rule)
 
     def lookup(self, key: Sequence[int]) -> Optional[Rule]:
         best: Optional[Rule] = None

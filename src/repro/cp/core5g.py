@@ -59,6 +59,9 @@ class SystemConfig:
     classifier_class: Type[Classifier] = PartitionSortClassifier
     upf_buffer_packets: int = DEFAULT_UPF_BUFFER_PACKETS
     gnb_buffer_packets: int = DEFAULT_GNB_BUFFER_PACKETS
+    #: Memoize the UPF-U per-packet decision in an exact-match flow
+    #: cache (off by default: the paper's numbers are uncached).
+    flow_cache: bool = False
 
     @classmethod
     def free5gc(cls) -> "SystemConfig":
@@ -164,6 +167,7 @@ class FiveGCore:
             downlink_sink=self._downlink_to_ran,
             fast_path=self.config.fast_path,
             session_scoped_buffering=self.config.session_scoped_buffering,
+            flow_cache=self.config.flow_cache,
             costs=costs,
         )
         self.upf_c = UPFControlPlane(
@@ -418,6 +422,8 @@ class FiveGCore:
         self.upf_u.stats.register_into(registry)
         self.upf_u.rx_ring.register_into(registry)
         self.upf_u.tx_ring.register_into(registry)
+        if self.upf_u.flow_cache is not None:
+            self.upf_u.flow_cache.register_into(registry)
         registry.gauge("sessions.active").set_function(
             lambda: len(self.sessions)
         )

@@ -26,6 +26,8 @@ __all__ = [
     "ScalingRow",
     "scaling_40g",
     "line_rate_pps",
+    "CachedAblationRow",
+    "flow_cache_ablation",
 ]
 
 #: The swept packet sizes (bytes on the wire).
@@ -133,6 +135,60 @@ def latency_vs_packet_size(
                     costs.dpdk_forward_latency
                     + costs.per_packet_cost(True, size)
                     + costs.lan_propagation
+                ),
+            )
+        )
+    return rows
+
+
+@dataclass
+class CachedAblationRow:
+    """Flow-cache ablation: CPU-limited forwarding rate per path.
+
+    Rates are deliberately *not* capped at the NIC line rate — the
+    ablation isolates what the match pipeline costs the CPU, which is
+    exactly the headroom the flow cache buys for QER/URR work or more
+    sessions per core.
+    """
+
+    size: int
+    l25gc_mpps: float
+    l25gc_cached_mpps: float
+    free5gc_mpps: float
+    free5gc_cached_mpps: float
+
+    @property
+    def l25gc_speedup(self) -> float:
+        return self.l25gc_cached_mpps / self.l25gc_mpps
+
+    @property
+    def free5gc_speedup(self) -> float:
+        return self.free5gc_cached_mpps / self.free5gc_mpps
+
+
+def flow_cache_ablation(
+    costs: CostModel = DEFAULT_COSTS, cores: int = 1
+) -> List[CachedAblationRow]:
+    """Cached-vs-uncached forwarding rate across packet sizes.
+
+    The cached series models every packet hitting the exact-match flow
+    cache (steady state, zero rule churn); the uncached series is the
+    full per-packet match pipeline.
+    """
+    rows: List[CachedAblationRow] = []
+    for size in PACKET_SIZES:
+        rows.append(
+            CachedAblationRow(
+                size=size,
+                l25gc_mpps=costs.forwarding_rate_pps(True, size, cores) / 1e6,
+                l25gc_cached_mpps=(
+                    costs.cached_forwarding_rate_pps(True, size, cores) / 1e6
+                ),
+                free5gc_mpps=(
+                    costs.forwarding_rate_pps(False, size, cores) / 1e6
+                ),
+                free5gc_cached_mpps=(
+                    costs.cached_forwarding_rate_pps(False, size, cores) / 1e6
                 ),
             )
         )

@@ -34,6 +34,7 @@ from ..classifier.linear import LinearClassifier
 from ..classifier.partition_sort import PartitionSortClassifier
 from ..classifier.rule import PacketKey
 from ..classifier.tss import TupleSpaceClassifier
+from ..up.flow_cache import FlowCache, RuleEpoch
 
 __all__ = [
     "RULE_COUNTS",
@@ -43,6 +44,8 @@ __all__ = [
     "update_latency",
     "build_classifier",
     "CLASSIFIER_VARIANTS",
+    "CachedLookupRow",
+    "cached_lookup_sweep",
 ]
 
 #: The swept rule-set sizes (the paper sweeps to several thousand).
@@ -112,6 +115,59 @@ def lookup_latency_sweep(
             classifier, keys = build_classifier(variant, count, seed)
             row.latency_s[variant] = _time_lookups(classifier, keys)
         rows.append(row)
+    return rows
+
+
+@dataclass
+class CachedLookupRow:
+    """Flow-cache ablation at one rule count: steady-state hit vs the
+    uncached classifier walk (both real, wall-clock measurements)."""
+
+    rules: int
+    uncached_s: float
+    cached_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.uncached_s / self.cached_s
+
+
+def cached_lookup_sweep(
+    rule_counts: Sequence[int] = RULE_COUNTS,
+    variant: str = "PDR-PS",
+    flows: int = 64,
+    seed: int = 7,
+) -> List[CachedLookupRow]:
+    """The 5GC²ache ablation: memoized decision vs full classification.
+
+    For each rule count, a :class:`~repro.up.flow_cache.FlowCache` is
+    warmed with ``flows`` distinct packet keys (the steady-state
+    working set) and the per-lookup latency of cache hits is measured
+    against the same keys walking the raw classifier.  The gap is what
+    the UPF-U fast path saves per steady-state packet; it widens with
+    the rule count because the cached probe is O(1) while every
+    classifier costs more as rules grow.
+    """
+    rows: List[CachedLookupRow] = []
+    for count in rule_counts:
+        classifier, keys = build_classifier(variant, count, seed)
+        working_set = keys[:flows]
+        cache = FlowCache(RuleEpoch(), capacity=max(flows * 2, 128))
+        for key in working_set:
+            cache.insert(key, None, classifier.lookup(key), None)
+        # Interleave the working set the way steady-state traffic does.
+        trace = [working_set[i % len(working_set)] for i in range(512)]
+        begin = time.perf_counter()
+        for key in trace:
+            classifier.lookup(key)
+        uncached = (time.perf_counter() - begin) / len(trace)
+        begin = time.perf_counter()
+        for key in trace:
+            cache.lookup(key)
+        cached = (time.perf_counter() - begin) / len(trace)
+        rows.append(
+            CachedLookupRow(rules=count, uncached_s=uncached, cached_s=cached)
+        )
     return rows
 
 

@@ -1,14 +1,25 @@
 """User plane: PDR/FAR state, session tables, smart buffer, UPF-C/UPF-U."""
 
 from .buffer import DEFAULT_UPF_BUFFER_PACKETS, SmartBuffer
+from .flow_cache import (
+    DEFAULT_FLOW_CACHE_CAPACITY,
+    FlowCache,
+    FlowCacheEntry,
+    RuleEpoch,
+)
 from .qos import QerEnforcer, TokenBucket, UsageCounter
 from .rules import FAR, FARAction, PDR, QER, far_from_ie, pdr_from_create_ie
-from .session import SessionTable, UPFSession
+from .session import SessionTable, UPFSession, packet_key
 from .upf_c import UPFControlPlane
 from .upf_u import ForwardingStats, UPFUserPlane
 
 __all__ = [
     "DEFAULT_UPF_BUFFER_PACKETS",
+    "DEFAULT_FLOW_CACHE_CAPACITY",
+    "FlowCache",
+    "FlowCacheEntry",
+    "RuleEpoch",
+    "packet_key",
     "QerEnforcer",
     "TokenBucket",
     "UsageCounter",

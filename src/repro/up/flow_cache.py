@@ -1,0 +1,240 @@
+"""Flow cache: the microflow fast path of the UPF-U pipeline.
+
+The per-packet match pipeline — dual-hash session lookup (§3.2), the
+20-field key build, the PDR classifier walk (§3.4), and the FAR / QER /
+URR dict lookups — is identical for every packet of a flow, yet the
+baseline pipeline re-runs all of it per packet.  Real UPFs (5GC²ache)
+and software switches (OVS's exact-match microflow cache) memoize the
+*decision* instead: the first packet of a flow pays the full pipeline,
+and every steady-state packet resolves with a single exact-match probe.
+
+This module provides that cache:
+
+* **Key** — the packet's exact 20-field classification key
+  (:func:`repro.up.session.packet_key`).  Because the key embeds the
+  session-selecting fields (TEID for UL, UE IP for DL, plus the source
+  interface that encodes direction), a key uniquely determines the
+  whole decision tuple.
+* **Value** — :class:`FlowCacheEntry`: the resolved ``(session, PDR,
+  FAR, QER enforcer, usage counter)``.  Only the *match* result is
+  cached: QER policing and URR accounting are per-packet actions and
+  always execute.
+* **Invalidation** — epoch-based, reproducing §3.2's zero-cost state
+  update at the cache layer.  Every rule-mutating operation
+  (``install_pdr`` / ``remove_pdr`` / ``install_far`` / ``update_far``
+  / ``install_qer*`` / ``SessionTable.add``/``remove``) bumps a shared
+  :class:`RuleEpoch`; entries record the epoch at fill time and a hit
+  whose recorded epoch is stale self-invalidates.  No scan, no
+  callback fan-out on the data path — a rule change is one integer
+  increment.
+* **Capacity** — an LRU bound keeps memory flat under millions of
+  distinct flows; evictions are counted so the experiments can see
+  thrash.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+__all__ = [
+    "DEFAULT_FLOW_CACHE_CAPACITY",
+    "RuleEpoch",
+    "FlowCacheEntry",
+    "FlowCache",
+]
+
+#: Default LRU bound.  Sized like OVS's EMC (8k entries): large enough
+#: that a steady working set of flows stays resident, small enough that
+#: the table is cache-friendly and memory stays flat under churn.
+DEFAULT_FLOW_CACHE_CAPACITY = 8192
+
+
+class RuleEpoch:
+    """A monotonic generation counter shared by rule-mutating state.
+
+    The counter is the entire invalidation protocol: mutators call
+    :meth:`bump`, readers compare a remembered ``value`` against the
+    current one.  Bumping never touches cached entries, so a PFCP rule
+    install costs O(1) regardless of how many flows are cached.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def bump(self) -> int:
+        """Invalidate every decision derived from the previous epoch."""
+        self.value += 1
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"RuleEpoch({self.value})"
+
+
+class FlowCacheEntry:
+    """One memoized pipeline decision, stamped with its fill epoch."""
+
+    __slots__ = ("generation", "session", "pdr", "far", "enforcer", "counter")
+
+    def __init__(self, generation, session, pdr, far, enforcer, counter):
+        self.generation = generation
+        self.session = session
+        self.pdr = pdr
+        self.far = far
+        self.enforcer = enforcer
+        self.counter = counter
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowCacheEntry(gen={self.generation}, "
+            f"seid={getattr(self.session, 'seid', None)}, "
+            f"pdr={getattr(self.pdr, 'pdr_id', self.pdr)})"
+        )
+
+
+class FlowCache:
+    """Exact-match LRU cache of pipeline decisions.
+
+    Parameters
+    ----------
+    epoch:
+        The shared :class:`RuleEpoch` bumped by every rule mutation
+        (normally ``SessionTable.epoch``).
+    capacity:
+        LRU bound on resident entries.
+    """
+
+    __slots__ = (
+        "_epoch",
+        "capacity",
+        "_entries",
+        "hits",
+        "misses",
+        "stale",
+        "evictions",
+        "inserts",
+        "purged",
+    )
+
+    def __init__(
+        self,
+        epoch: RuleEpoch,
+        capacity: int = DEFAULT_FLOW_CACHE_CAPACITY,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity!r}")
+        self._epoch = epoch
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, FlowCacheEntry]" = OrderedDict()
+        #: Fast-path hits (valid entry, current epoch).
+        self.hits = 0
+        #: Probes that found nothing usable (absent or stale).
+        self.misses = 0
+        #: Misses caused specifically by epoch invalidation.
+        self.stale = 0
+        #: Entries dropped to enforce the LRU capacity bound.
+        self.evictions = 0
+        #: Entries filled by the slow path.
+        self.inserts = 0
+        #: Entries dropped eagerly on session removal.
+        self.purged = 0
+
+    # ------------------------------------------------------------------
+    # Data path
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[FlowCacheEntry]:
+        """One exact-match probe; None on miss or stale entry."""
+        entries = self._entries
+        entry = entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.generation != self._epoch.value:
+            # Lazy invalidation: the epoch moved since fill time, so
+            # the decision may no longer be derivable — drop and re-run
+            # the pipeline.
+            del entries[key]
+            self.stale += 1
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(
+        self,
+        key: Hashable,
+        session: Any,
+        pdr: Any,
+        far: Any,
+        enforcer: Any = None,
+        counter: Any = None,
+    ) -> FlowCacheEntry:
+        """Memoize one slow-path decision under the current epoch."""
+        entries = self._entries
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.capacity:
+            entries.popitem(last=False)
+            self.evictions += 1
+        entry = FlowCacheEntry(
+            self._epoch.value, session, pdr, far, enforcer, counter
+        )
+        entries[key] = entry
+        self.inserts += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def purge_session(self, session: Any) -> int:
+        """Eagerly drop a removed session's entries (frees the refs).
+
+        The epoch bump already guarantees correctness; this exists so a
+        deleted session's context is not pinned in memory until LRU
+        pressure happens to evict its flows.
+        """
+        entries = self._entries
+        dead = [key for key, entry in entries.items() if entry.session is session]
+        for key in dead:
+            del entries[key]
+        self.purged += len(dead)
+        return len(dead)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over all probes (0.0 before any traffic)."""
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def register_into(self, registry, prefix: str = "flow_cache") -> None:
+        """Export the counters as live gauges on a MetricsRegistry."""
+        for name in (
+            "hits",
+            "misses",
+            "stale",
+            "evictions",
+            "inserts",
+            "purged",
+        ):
+            registry.gauge(f"{prefix}.{name}").set_function(
+                lambda name=name: getattr(self, name)
+            )
+        registry.gauge(f"{prefix}.entries").set_function(lambda: len(self))
+        registry.gauge(f"{prefix}.hit_rate").set_function(
+            lambda: self.hit_rate
+        )

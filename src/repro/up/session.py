@@ -7,22 +7,65 @@ Each user session context stores a number of different rule sets in
 shared memory, e.g., PDRs and FARs."
 
 The session context owns its PDR classifier (pluggable: linear / TSS /
-PartitionSort) and the smart buffer.
+PartitionSort) and the smart buffer.  Every rule-mutating operation
+bumps a :class:`~repro.up.flow_cache.RuleEpoch` so the UPF-U's flow
+cache self-invalidates without scanning — the zero-cost state update,
+extended to the cache layer.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from ..classifier.base import Classifier
 from ..classifier.partition_sort import PartitionSortClassifier
 from ..net.packet import Direction, Packet
 from ..pfcp import ies as pfcp_ies
 from .buffer import DEFAULT_UPF_BUFFER_PACKETS, SmartBuffer
+from .flow_cache import RuleEpoch
 from .qos import QerEnforcer, UsageCounter
 from .rules import FAR, PDR, QER
 
-__all__ = ["UPFSession", "SessionTable"]
+__all__ = ["packet_key", "UPFSession", "SessionTable"]
+
+
+def packet_key(packet: Packet):
+    """The packet's exact 20-field classification key.
+
+    Built once per packet and shared by the flow cache and the
+    classifier — field order must mirror
+    ``repro.classifier.rule.PDI_FIELDS``.
+    """
+    flow = packet.flow
+    meta = packet.meta
+    get = meta.get
+    tos = packet.tos
+    return (
+        flow.src_ip,
+        flow.dst_ip,
+        flow.src_port,
+        flow.dst_port,
+        flow.protocol,
+        tos,
+        packet.teid or 0,
+        packet.qfi or 0,
+        get("app_id", 0),
+        get("spi", 0),
+        get("flow_label", 0),
+        get("sdf_filter_id", 0),
+        (
+            pfcp_ies.ACCESS
+            if packet.direction is Direction.UPLINK
+            else pfcp_ies.CORE
+        ),
+        get("pdu_type", 0),
+        get("network_instance", 0),
+        tos >> 2,
+        get("session_id", 0),
+        get("slice_id", 0),
+        get("urr_id", 0),
+        get("outer_header", 0),
+    )
 
 
 class UPFSession:
@@ -64,25 +107,31 @@ class UPFSession:
         #: Set while the CP has been notified of buffered DL data and
         #: paging is in flight (suppresses duplicate reports).
         self.report_pending = False
+        #: Rule-mutation epoch; rebound to the table's shared epoch by
+        #: :meth:`SessionTable.add` so one counter covers all sessions.
+        self.epoch = RuleEpoch()
 
     # -- rule management ----------------------------------------------------
     def install_pdr(self, pdr: PDR) -> None:
         """Install or replace a PDR (and its classifier rule)."""
         existing = self.pdrs.get(pdr.pdr_id)
         if existing is not None:
-            self.classifier.remove(existing.match)
+            self.classifier.remove_by_id(existing.match.rule_id)
         self.pdrs[pdr.pdr_id] = pdr
         self.classifier.insert(pdr.match)
+        self.epoch.bump()
 
     def remove_pdr(self, pdr_id: int) -> bool:
         pdr = self.pdrs.pop(pdr_id, None)
         if pdr is None:
             return False
-        self.classifier.remove(pdr.match)
+        self.classifier.remove_by_id(pdr.match.rule_id)
+        self.epoch.bump()
         return True
 
     def install_far(self, far: FAR) -> None:
         self.fars[far.far_id] = far
+        self.epoch.bump()
 
     def update_far(self, far: FAR) -> None:
         """Merge an Update FAR into the existing rule.
@@ -94,6 +143,7 @@ class UPFSession:
         existing = self.fars.get(far.far_id)
         if existing is None:
             self.fars[far.far_id] = far
+            self.epoch.bump()
             return
         action = existing.action
         new = far.action
@@ -105,64 +155,60 @@ class UPFSession:
             action.outer_teid = new.outer_teid
             action.outer_address = new.outer_address
             action.destination_interface = new.destination_interface
+        self.epoch.bump()
 
     def install_qer(self, qer: QER) -> None:
         self.qers[qer.qer_id] = qer
+        self.epoch.bump()
 
     def install_qer_enforcer(self, enforcer: "QerEnforcer") -> None:
         self.qer_enforcers[enforcer.qer_id] = enforcer
+        self.epoch.bump()
 
     def install_usage_counter(self, counter: "UsageCounter") -> None:
         self.usage_counters[counter.urr_id] = counter
+        self.epoch.bump()
 
     # -- lookup ---------------------------------------------------------------
-    def match_pdr(self, packet: Packet) -> Optional[PDR]:
-        """Classify a packet against this session's PDRs."""
-        key = self._packet_key(packet)
+    def match_pdr(self, packet: Packet, key=None) -> Optional[PDR]:
+        """Classify a packet against this session's PDRs.
+
+        ``key`` accepts a pre-built classification key so callers that
+        already derived it (the flow-cache miss path) don't pay the
+        20-field build twice.
+        """
+        if key is None:
+            key = packet_key(packet)
         rule = self.classifier.lookup(key)
         if rule is None:
             return None
         return self.pdrs.get(rule.rule_id)
 
     def _packet_key(self, packet: Packet):
-        flow = packet.flow
-        source_iface = (
-            pfcp_ies.ACCESS
-            if packet.direction is Direction.UPLINK
-            else pfcp_ies.CORE
-        )
-        # Field order must mirror repro.classifier.rule.PDI_FIELDS.
-        return (
-            flow.src_ip,
-            flow.dst_ip,
-            flow.src_port,
-            flow.dst_port,
-            flow.protocol,
-            packet.tos,
-            packet.teid or 0,
-            packet.qfi or 0,
-            packet.meta.get("app_id", 0),
-            packet.meta.get("spi", 0),
-            packet.meta.get("flow_label", 0),
-            packet.meta.get("sdf_filter_id", 0),
-            source_iface,
-            packet.meta.get("pdu_type", 0),
-            packet.meta.get("network_instance", 0),
-            packet.tos >> 2,
-            packet.meta.get("session_id", 0),
-            packet.meta.get("slice_id", 0),
-            packet.meta.get("urr_id", 0),
-            packet.meta.get("outer_header", 0),
-        )
+        return packet_key(packet)
 
 
 class SessionTable:
-    """The UPF's dual hash tables: TEID -> session, UE IP -> session."""
+    """The UPF's dual hash tables: TEID -> session, UE IP -> session.
+
+    The table owns the shared rule-mutation :attr:`epoch` consulted by
+    the UPF-U's flow cache; membership changes bump it, and sessions
+    adopt it on :meth:`add` so their rule mutations bump it too.
+    """
 
     def __init__(self) -> None:
         self._by_teid: Dict[int, UPFSession] = {}
         self._by_ue_ip: Dict[int, UPFSession] = {}
         self._by_seid: Dict[int, UPFSession] = {}
+        #: Shared generation counter for epoch-based cache invalidation.
+        self.epoch = RuleEpoch()
+        self._removal_listeners: List[Callable[[UPFSession], None]] = []
+
+    def add_removal_listener(
+        self, listener: Callable[[UPFSession], None]
+    ) -> None:
+        """Register a callback invoked with each removed session."""
+        self._removal_listeners.append(listener)
 
     def add(self, session: UPFSession) -> None:
         if session.seid in self._by_seid:
@@ -174,6 +220,10 @@ class SessionTable:
         self._by_seid[session.seid] = session
         self._by_teid[session.ul_teid] = session
         self._by_ue_ip[session.ue_ip] = session
+        # Adopt the shared epoch: any later rule change on this session
+        # invalidates the whole cache with one integer bump.
+        session.epoch = self.epoch
+        self.epoch.bump()
 
     def remove(self, seid: int) -> Optional[UPFSession]:
         session = self._by_seid.pop(seid, None)
@@ -181,6 +231,9 @@ class SessionTable:
             return None
         self._by_teid.pop(session.ul_teid, None)
         self._by_ue_ip.pop(session.ue_ip, None)
+        self.epoch.bump()
+        for listener in self._removal_listeners:
+            listener(session)
         return session
 
     def by_teid(self, teid: int) -> Optional[UPFSession]:

@@ -27,8 +27,10 @@ from ..net.packet import Direction, Packet
 from ..obs import spans as _tracing
 from ..obs.metrics import MetricsRegistry
 from ..pfcp import ies as pfcp_ies
+from .flow_cache import DEFAULT_FLOW_CACHE_CAPACITY, FlowCache
+from .qos import QerEnforcer, UsageCounter
 from .rules import FAR, PDR
-from .session import SessionTable, UPFSession
+from .session import SessionTable, UPFSession, packet_key
 
 __all__ = ["ForwardingStats", "UPFUserPlane"]
 
@@ -99,6 +101,14 @@ class UPFUserPlane(NetworkFunction):
     fast_path:
         True for L25GC's DPDK pipeline, False for the kernel baseline —
         selects the per-packet cost in :meth:`processing_time`.
+    flow_cache:
+        True enables the exact-match flow cache: the first packet of a
+        flow runs the full match pipeline and memoizes the decision;
+        steady-state packets resolve with one probe.  QER policing and
+        URR accounting still run per packet, so cache-on and cache-off
+        produce identical stats and outcomes.
+    flow_cache_capacity:
+        LRU bound on cached flows (see :mod:`repro.up.flow_cache`).
     """
 
     #: Kernel skb backlog other active sessions pin in the shared
@@ -121,11 +131,20 @@ class UPFUserPlane(NetworkFunction):
         fast_path: bool = True,
         session_scoped_buffering: bool = True,
         costs: CostModel = DEFAULT_COSTS,
+        flow_cache: bool = False,
+        flow_cache_capacity: int = DEFAULT_FLOW_CACHE_CAPACITY,
     ):
         super().__init__(
             env, name, service_id, instance_id=instance_id, costs=costs
         )
         self.sessions = sessions
+        #: Exact-match microflow cache (None when disabled).
+        self.flow_cache: Optional[FlowCache] = (
+            FlowCache(sessions.epoch, capacity=flow_cache_capacity)
+            if flow_cache
+            else None
+        )
+        sessions.add_removal_listener(self._on_session_removed)
         self.uplink_sink = uplink_sink or (lambda packet: None)
         self.downlink_sink = downlink_sink or (
             lambda packet, teid, address: None
@@ -148,19 +167,22 @@ class UPFUserPlane(NetworkFunction):
     # ------------------------------------------------------------------
     # Direct API
     # ------------------------------------------------------------------
-    def process(self, packet: Packet) -> None:
+    def process(self, packet: Packet) -> str:
         """Run the full match-action pipeline on one packet.
 
+        Returns the outcome label (``forwarded-ul``, ``drop-qos``, ...)
+        so harnesses can compare per-packet behaviour across
+        configurations.
+
         With tracing on, the packet gets a ``upf-u.pipeline`` span with
-        per-stage instants (session lookup, PDR match, FAR apply) and a
-        final ``outcome`` attribute — the per-stage attribution the
-        5GC²ache-style analyses need.  With tracing off the pipeline
-        runs the exact same statements.
+        per-stage instants (flow-cache probe, session lookup, PDR
+        match, FAR apply) and a final ``outcome`` attribute — the
+        per-stage attribution the 5GC²ache-style analyses need.  With
+        tracing off the pipeline runs the exact same statements.
         """
         tracer = _tracing.active()
         if tracer is None:
-            self._pipeline(packet, None, None)
-            return
+            return self._pipeline(packet, None, None)
         span = tracer.start_span(
             "upf-u.pipeline",
             category="packet",
@@ -171,6 +193,7 @@ class UPFUserPlane(NetworkFunction):
         outcome = self._pipeline(packet, tracer, span)
         span.end = self.env.now
         span.attrs["outcome"] = outcome
+        return outcome
 
     def _pipeline(
         self,
@@ -178,28 +201,82 @@ class UPFUserPlane(NetworkFunction):
         tracer: Optional["_tracing.Tracer"],
         span: Optional["_tracing.Span"],
     ) -> str:
+        stats = self.stats
+        cache = self.flow_cache
+        key = None
+        if cache is not None and (
+            packet.direction is not Direction.UPLINK
+            or packet.teid is not None
+        ):
+            # Fast path: one exact-match probe replaces session lookup,
+            # key build (reused below on miss), classifier walk, and
+            # the FAR/QER/URR dict resolution.  A TEID-less UL packet
+            # bypasses the cache: its key would alias TEID 0.
+            key = packet_key(packet)
+            entry = cache.lookup(key)
+            if tracer is not None:
+                tracer.instant(
+                    "flow-cache", parent=span, hit=entry is not None
+                )
+            if entry is not None:
+                outcome = self._apply(
+                    packet,
+                    entry.session,
+                    entry.pdr,
+                    entry.far,
+                    entry.enforcer,
+                    entry.counter,
+                )
+                if tracer is not None:
+                    tracer.instant("far-apply", parent=span, outcome=outcome)
+                return outcome
         session = self._lookup_session(packet)
         if tracer is not None:
             tracer.instant(
                 "session-lookup", parent=span, hit=session is not None
             )
         if session is None:
-            self.stats.dropped_no_session += 1
+            stats.dropped_no_session += 1
             return "drop-no-session"
-        pdr = session.match_pdr(packet)
+        pdr = session.match_pdr(packet, key=key)
         if tracer is not None:
             tracer.instant("pdr-match", parent=span, matched=pdr is not None)
         if pdr is None:
-            self.stats.dropped_no_pdr += 1
+            stats.dropped_no_pdr += 1
             return "drop-no-pdr"
         far = session.fars.get(pdr.far_id)
         if far is None:
-            self.stats.dropped_no_pdr += 1
+            stats.dropped_no_pdr += 1
             return "drop-no-far"
-        outcome = self._apply(packet, session, pdr, far)
+        enforcer = (
+            session.qer_enforcers.get(pdr.qer_id)
+            if pdr.qer_id is not None
+            else None
+        )
+        counter = (
+            session.usage_counters.get(pdr.urr_id)
+            if pdr.urr_id is not None
+            else None
+        )
+        if key is not None:
+            # Memoize the decision only — never the QER/URR verdicts,
+            # which are per-packet by nature.
+            cache.insert(key, session, pdr, far, enforcer, counter)
+        outcome = self._apply(packet, session, pdr, far, enforcer, counter)
         if tracer is not None:
             tracer.instant("far-apply", parent=span, outcome=outcome)
         return outcome
+
+    def _on_session_removed(self, session: UPFSession) -> None:
+        """SessionTable removal hook: drop per-session pipeline state.
+
+        Without this, ``_drain_until`` entries (and cached flow
+        decisions pinning the session context) leaked for every
+        session the UPF-C deleted.
+        """
+        self._drain_until.pop(session.seid, None)
+        if self.flow_cache is not None:
+            self.flow_cache.purge_session(session)
 
     def _lookup_session(self, packet: Packet) -> Optional[UPFSession]:
         if packet.direction is Direction.UPLINK:
@@ -209,46 +286,49 @@ class UPFUserPlane(NetworkFunction):
         return self.sessions.by_ue_ip(packet.flow.dst_ip)
 
     def _apply(
-        self, packet: Packet, session: UPFSession, pdr: PDR, far: FAR
+        self,
+        packet: Packet,
+        session: UPFSession,
+        pdr: PDR,
+        far: FAR,
+        enforcer: Optional[QerEnforcer] = None,
+        counter: Optional[UsageCounter] = None,
     ) -> str:
         action = far.action
+        stats = self.stats
         if action.drop:
-            self.stats.dropped_action += 1
+            stats.dropped_action += 1
             return "drop-action"
         # QoS enforcement (QER): gate + MBR token-bucket policing runs
-        # before any forwarding/buffering decision.
-        if pdr.qer_id is not None:
-            enforcer = session.qer_enforcers.get(pdr.qer_id)
-            if enforcer is not None and not enforcer.admit(
-                packet, self.env.now
-            ):
-                self.stats.dropped_qos += 1
-                return "drop-qos"
+        # before any forwarding/buffering decision.  The enforcer and
+        # counter arrive pre-resolved (by the slow path or a cache
+        # hit); their verdicts are per-packet and never cached.
+        if enforcer is not None and not enforcer.admit(packet, self.env.now):
+            stats.dropped_qos += 1
+            return "drop-qos"
         # Usage metering (URR): count the packet; raise a usage report
         # when the volume threshold trips.
-        if pdr.urr_id is not None:
-            counter = session.usage_counters.get(pdr.urr_id)
-            if counter is not None and counter.account(packet):
-                self.stats.usage_reports += 1
-                self.usage_report_sink(session, counter)
+        if counter is not None and counter.account(packet):
+            stats.usage_reports += 1
+            self.usage_report_sink(session, counter)
         if action.buffer:
             if len(session.buffer) >= self._effective_capacity(session):
                 session.buffer.dropped += 1
-                self.stats.dropped_buffer_full += 1
+                stats.dropped_buffer_full += 1
                 outcome = "drop-buffer-full"
             elif session.buffer.push(packet):
-                self.stats.buffered += 1
+                stats.buffered += 1
                 outcome = "buffered"
             else:
-                self.stats.dropped_buffer_full += 1
+                stats.dropped_buffer_full += 1
                 outcome = "drop-buffer-full"
             if action.notify_cp and not session.report_pending:
                 session.report_pending = True
-                self.stats.notifications += 1
+                stats.notifications += 1
                 self.notify_cp(session)
             return outcome
         if not action.forward:
-            self.stats.dropped_action += 1
+            stats.dropped_action += 1
             return "drop-action"
         return self._forward(packet, pdr, far, session)
 

@@ -62,6 +62,27 @@ class TestCommonBehaviour:
         assert classifier.lookup(Rule.key_from_fields(dst_ip=2)) is new
         assert len(classifier) == 1
 
+    def test_remove_by_id(self, classifier):
+        generated = ClassBenchGenerator(seed=4).rules(30)
+        classifier.extend(generated)
+        victim = generated[17]
+        assert classifier.remove_by_id(victim.rule_id)
+        assert len(classifier) == 29
+        assert all(
+            rule.rule_id != victim.rule_id for rule in classifier.rules()
+        )
+        # A second removal of the same id — and an unknown id — both miss.
+        assert not classifier.remove_by_id(victim.rule_id)
+        assert not classifier.remove_by_id(10**9)
+        assert len(classifier) == 29
+
+    def test_remove_by_id_then_reinsert(self, classifier):
+        rule = Rule.from_fields(priority=1, rule_id=3, dst_ip=exact(7))
+        classifier.insert(rule)
+        assert classifier.remove_by_id(3)
+        classifier.insert(rule)
+        assert classifier.lookup(Rule.key_from_fields(dst_ip=7)) is rule
+
     def test_rules_snapshot(self, classifier):
         generated = ClassBenchGenerator(seed=1).rules(20)
         classifier.extend(generated)

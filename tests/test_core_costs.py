@@ -117,6 +117,37 @@ class TestDataPlane:
             ]
             assert costs == sorted(costs)
 
+    def test_cached_lookup_cheaper_than_full_pipeline(self):
+        """The flow cache swaps the match walk for a single probe."""
+        for fast in (True, False):
+            for size in (68, 512, 1500):
+                cached = DEFAULT_COSTS.cached_lookup(fast, size)
+                full = DEFAULT_COSTS.per_packet_cost(fast, size)
+                assert 0.0 < cached < full
+
+    def test_cached_savings_larger_on_kernel_path(self):
+        """free5GC's kernel match dwarfs the DPDK match, so memoizing
+        it buys proportionally more headroom."""
+        fast_gain = DEFAULT_COSTS.per_packet_cost(
+            True, 256
+        ) - DEFAULT_COSTS.cached_lookup(True, 256)
+        slow_gain = DEFAULT_COSTS.per_packet_cost(
+            False, 256
+        ) - DEFAULT_COSTS.cached_lookup(False, 256)
+        assert slow_gain > fast_gain > 0.0
+
+    def test_cached_forwarding_rate_exceeds_uncached(self):
+        for fast in (True, False):
+            assert DEFAULT_COSTS.cached_forwarding_rate_pps(
+                fast, 68
+            ) > DEFAULT_COSTS.forwarding_rate_pps(fast, 68)
+
+    def test_cached_lookup_floor_is_probe_cost(self):
+        """Even if the saved match exceeded the base cost, the probe
+        itself is never free."""
+        tiny = DEFAULT_COSTS.scaled(dpdk_match_cost=10.0)
+        assert tiny.cached_lookup(True, 68) >= tiny.flow_cache_probe
+
 
 class TestScaled:
     def test_scaled_overrides(self):

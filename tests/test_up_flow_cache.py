@@ -1,0 +1,578 @@
+"""Flow-cache fast path: unit, integration, and property tests.
+
+The invariant that matters: **a UPF-U with the flow cache on is
+observationally identical to one with it off** — same per-packet
+outcomes, bit-identical ForwardingStats — under any interleaving of
+packets and rule mutations.  The property test replays randomized
+interleavings against three stacks at once (cache-on/PartitionSort,
+cache-off/PartitionSort, cache-off/Linear as the 3GPP oracle) and the
+stale-entry tests pin down each epoch-bump site individually.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifier import LinearClassifier, Rule, exact
+from repro.obs.metrics import MetricsRegistry
+from repro.pfcp import ies as pfcp_ies
+from repro.sim import Environment
+from repro.up import (
+    FAR,
+    FARAction,
+    FlowCache,
+    PDR,
+    QerEnforcer,
+    RuleEpoch,
+    SessionTable,
+    TokenBucket,
+    UPFSession,
+    UPFUserPlane,
+    UsageCounter,
+    packet_key,
+)
+from repro.net import Direction, FiveTuple, Packet
+
+GNB = 0xC0A80201
+DN_IP = 0x08080808
+UE_BASE = 0x0A3C0000
+
+
+# ----------------------------------------------------------------------
+# Shared builders
+# ----------------------------------------------------------------------
+def make_session(seid, classifier_class, qer=False, urr=False):
+    """A session with UL+DL PDRs, forward FARs, optional QER/URR."""
+    ue_ip = UE_BASE + seid
+    ul_teid = 0x100 + seid
+    session = UPFSession(
+        seid=seid,
+        ue_ip=ue_ip,
+        ul_teid=ul_teid,
+        classifier_class=classifier_class,
+    )
+    session.install_pdr(
+        PDR(
+            pdr_id=1,
+            precedence=10,
+            match=Rule.from_fields(
+                priority=100,
+                rule_id=1,
+                far_id=1,
+                teid=exact(ul_teid),
+                source_iface=exact(pfcp_ies.ACCESS),
+            ),
+            far_id=1,
+            qer_id=1 if qer else None,
+            urr_id=1 if urr else None,
+            outer_header_removal=True,
+            source_interface=pfcp_ies.ACCESS,
+        )
+    )
+    session.install_pdr(
+        PDR(
+            pdr_id=2,
+            precedence=10,
+            match=Rule.from_fields(
+                priority=100,
+                rule_id=2,
+                far_id=2,
+                dst_ip=exact(ue_ip),
+                source_iface=exact(pfcp_ies.CORE),
+            ),
+            far_id=2,
+            qer_id=1 if qer else None,
+            urr_id=1 if urr else None,
+            source_interface=pfcp_ies.CORE,
+        )
+    )
+    session.install_far(
+        FAR(far_id=1, action=FARAction(destination_interface=pfcp_ies.CORE))
+    )
+    session.install_far(
+        FAR(
+            far_id=2,
+            action=FARAction(
+                destination_interface=pfcp_ies.ACCESS,
+                outer_teid=0x500 + seid,
+                outer_address=GNB,
+            ),
+        )
+    )
+    if qer:
+        session.install_qer_enforcer(
+            QerEnforcer(
+                qer_id=1,
+                ul_bucket=TokenBucket(8000.0, burst_bytes=300),
+                dl_bucket=TokenBucket(8000.0, burst_bytes=300),
+            )
+        )
+    if urr:
+        session.install_usage_counter(
+            UsageCounter(urr_id=1, volume_threshold_bytes=256)
+        )
+    return session
+
+
+def ul_packet(seid, src_port=4000):
+    return Packet(
+        direction=Direction.UPLINK,
+        teid=0x100 + seid,
+        flow=FiveTuple(
+            src_ip=UE_BASE + seid,
+            dst_ip=DN_IP,
+            src_port=src_port,
+            dst_port=80,
+        ),
+        size=100,
+    )
+
+
+def dl_packet(seid, src_port=80):
+    return Packet(
+        direction=Direction.DOWNLINK,
+        flow=FiveTuple(
+            src_ip=DN_IP,
+            dst_ip=UE_BASE + seid,
+            src_port=src_port,
+            dst_port=4000,
+        ),
+        size=100,
+    )
+
+
+def build_stack(flow_cache, classifier_class, **kwargs):
+    table = SessionTable()
+    upf = UPFUserPlane(
+        Environment(), table, flow_cache=flow_cache, **kwargs
+    )
+    upf.classifier_class = classifier_class  # remembered by the harness
+    return table, upf
+
+
+# ----------------------------------------------------------------------
+# FlowCache unit tests
+# ----------------------------------------------------------------------
+class TestFlowCacheStructure:
+    def test_insert_lookup_hit(self):
+        cache = FlowCache(RuleEpoch(), capacity=4)
+        cache.insert("k", "sess", "pdr", "far")
+        entry = cache.lookup("k")
+        assert entry is not None and entry.pdr == "pdr"
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_miss_counts(self):
+        cache = FlowCache(RuleEpoch(), capacity=4)
+        assert cache.lookup("absent") is None
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.0
+
+    def test_epoch_bump_invalidates_lazily(self):
+        epoch = RuleEpoch()
+        cache = FlowCache(epoch, capacity=4)
+        cache.insert("k", "sess", "pdr", "far")
+        epoch.bump()
+        assert cache.lookup("k") is None
+        assert cache.stale == 1
+        assert len(cache) == 0  # the stale entry was dropped
+
+    def test_lru_eviction_and_accounting(self):
+        cache = FlowCache(RuleEpoch(), capacity=2)
+        cache.insert("a", None, 1, None)
+        cache.insert("b", None, 2, None)
+        cache.lookup("a")  # "a" becomes most-recent
+        cache.insert("c", None, 3, None)
+        assert cache.evictions == 1
+        assert "b" not in cache and "a" in cache and "c" in cache
+
+    def test_reinsert_does_not_evict(self):
+        cache = FlowCache(RuleEpoch(), capacity=2)
+        cache.insert("a", None, 1, None)
+        cache.insert("b", None, 2, None)
+        cache.insert("a", None, 9, None)  # replacement, not growth
+        assert cache.evictions == 0
+        assert cache.lookup("a").pdr == 9
+
+    def test_purge_session(self):
+        cache = FlowCache(RuleEpoch(), capacity=8)
+        sess_a, sess_b = object(), object()
+        cache.insert("a1", sess_a, 1, None)
+        cache.insert("a2", sess_a, 2, None)
+        cache.insert("b1", sess_b, 3, None)
+        assert cache.purge_session(sess_a) == 2
+        assert cache.purged == 2
+        assert len(cache) == 1 and "b1" in cache
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FlowCache(RuleEpoch(), capacity=0)
+
+    def test_register_into_exports_live_gauges(self):
+        registry = MetricsRegistry()
+        epoch = RuleEpoch()
+        cache = FlowCache(epoch, capacity=4)
+        cache.register_into(registry)
+        cache.insert("k", None, 1, None)
+        cache.lookup("k")
+        cache.lookup("gone")
+        assert registry.gauge("flow_cache.hits").value == 1
+        assert registry.gauge("flow_cache.misses").value == 1
+        assert registry.gauge("flow_cache.entries").value == 1
+        assert registry.gauge("flow_cache.hit_rate").value == 0.5
+
+
+# ----------------------------------------------------------------------
+# Pipeline integration
+# ----------------------------------------------------------------------
+class TestPipelineFastPath:
+    def test_first_packet_fills_then_hits(self):
+        table, upf = build_stack(True, None)
+        table.add(make_session(1, LinearClassifier))
+        assert upf.process(ul_packet(1)) == "forwarded-ul"
+        assert upf.flow_cache.inserts == 1
+        assert upf.process(ul_packet(1)) == "forwarded-ul"
+        assert upf.flow_cache.hits == 1
+        assert upf.stats.forwarded_ul == 2
+
+    def test_distinct_flows_get_distinct_entries(self):
+        table, upf = build_stack(True, None)
+        table.add(make_session(1, LinearClassifier))
+        upf.process(ul_packet(1, src_port=1000))
+        upf.process(ul_packet(1, src_port=2000))
+        assert len(upf.flow_cache) == 2
+
+    def test_install_pdr_invalidates(self):
+        table, upf = build_stack(True, None)
+        session = make_session(1, LinearClassifier)
+        table.add(session)
+        upf.process(dl_packet(1))
+        # Install a higher-priority DL PDR pointing at a drop FAR: the
+        # cached decision must not survive.
+        session.install_far(FAR(far_id=9, action=FARAction(drop=True)))
+        session.install_pdr(
+            PDR(
+                pdr_id=3,
+                precedence=1,
+                match=Rule.from_fields(
+                    priority=900,
+                    rule_id=3,
+                    far_id=9,
+                    dst_ip=exact(UE_BASE + 1),
+                    source_iface=exact(pfcp_ies.CORE),
+                ),
+                far_id=9,
+                source_interface=pfcp_ies.CORE,
+            )
+        )
+        assert upf.process(dl_packet(1)) == "drop-action"
+        assert upf.flow_cache.stale >= 1
+
+    def test_remove_pdr_invalidates(self):
+        table, upf = build_stack(True, None)
+        session = make_session(1, LinearClassifier)
+        table.add(session)
+        assert upf.process(ul_packet(1)) == "forwarded-ul"
+        session.remove_pdr(1)
+        assert upf.process(ul_packet(1)) == "drop-no-pdr"
+
+    def test_update_far_invalidates(self):
+        table, upf = build_stack(True, None)
+        session = make_session(1, LinearClassifier)
+        table.add(session)
+        assert upf.process(dl_packet(1)) == "forwarded-dl"
+        session.update_far(
+            FAR(far_id=2, action=FARAction(forward=False, buffer=True))
+        )
+        assert upf.process(dl_packet(1)) == "buffered"
+
+    def test_session_removal_invalidates_and_purges(self):
+        table, upf = build_stack(True, None)
+        session = make_session(1, LinearClassifier)
+        table.add(session)
+        upf.process(ul_packet(1))
+        upf.process(dl_packet(1))
+        assert len(upf.flow_cache) == 2
+        table.remove(1)
+        assert len(upf.flow_cache) == 0  # purged eagerly
+        assert upf.process(ul_packet(1)) == "drop-no-session"
+
+    def test_qer_policing_runs_on_cache_hits(self):
+        """The MBR bucket must drain per packet even on the fast path."""
+        table, upf = build_stack(True, None)
+        table.add(make_session(1, LinearClassifier, qer=True))
+        outcomes = [upf.process(ul_packet(1)) for _ in range(5)]
+        # burst 300 B at 100 B/packet: 3 conform, the rest police.
+        assert outcomes == ["forwarded-ul"] * 3 + ["drop-qos"] * 2
+        assert upf.flow_cache.hits == 4
+
+    def test_urr_accounting_runs_on_cache_hits(self):
+        table, upf = build_stack(True, None)
+        session = make_session(1, LinearClassifier, urr=True)
+        table.add(session)
+        for _ in range(4):
+            upf.process(ul_packet(1))
+        assert session.usage_counters[1].uplink_bytes == 400
+        # 256 B threshold: reports at 300 B and (next window) at 600 B.
+        assert upf.stats.usage_reports == 1
+
+    def test_teidless_uplink_bypasses_cache(self):
+        table, upf = build_stack(True, None)
+        table.add(make_session(1, LinearClassifier))
+        packet = ul_packet(1)
+        packet.teid = None
+        assert upf.process(packet) == "drop-no-session"
+        assert len(upf.flow_cache) == 0
+
+    def test_cache_off_by_default(self):
+        table, upf = build_stack(False, None)
+        assert upf.flow_cache is None
+        table.add(make_session(1, LinearClassifier))
+        assert upf.process(ul_packet(1)) == "forwarded-ul"
+
+
+class TestDrainStateLifecycle:
+    def test_drain_until_evicted_on_session_removal(self):
+        table, upf = build_stack(False, None)
+        session = make_session(1, LinearClassifier)
+        table.add(session)
+        session.update_far(
+            FAR(far_id=2, action=FARAction(forward=False, buffer=True))
+        )
+        upf.process(dl_packet(1))
+        session.update_far(FAR(far_id=2, action=FARAction(forward=True)))
+        upf.flush_session(session)
+        assert session.seid in upf._drain_until
+        table.remove(1)
+        assert session.seid not in upf._drain_until
+
+    def test_unrelated_drain_state_survives(self):
+        table, upf = build_stack(False, None)
+        for seid in (1, 2):
+            session = make_session(seid, LinearClassifier)
+            table.add(session)
+            session.update_far(
+                FAR(far_id=2, action=FARAction(forward=False, buffer=True))
+            )
+            upf.process(dl_packet(seid))
+            session.update_far(FAR(far_id=2, action=FARAction(forward=True)))
+            upf.flush_session(session)
+        table.remove(1)
+        assert 1 not in upf._drain_until
+        assert 2 in upf._drain_until
+
+
+# ----------------------------------------------------------------------
+# Full-system wiring (SystemConfig -> FiveGCore -> metrics)
+# ----------------------------------------------------------------------
+class TestFullSystemWiring:
+    def _core_with_traffic(self, flow_cache):
+        from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
+        from repro.sim import Environment as CoreEnv
+
+        env = CoreEnv()
+        config = SystemConfig.l25gc()
+        config.flow_cache = flow_cache
+        core = FiveGCore(env, config)
+        for gnb in core.gnbs.values():
+            gnb.radio_latency = 0.0
+        runner = ProcedureRunner(core)
+        ue = core.add_ue("imsi-208930000009001")
+        detail = {}
+
+        def lifecycle():
+            yield from runner.register_ue(ue, gnb_id=1)
+            result = yield from runner.establish_session(ue)
+            detail.update(result.detail)
+
+        env.process(lifecycle())
+        env.run()
+        for _ in range(20):
+            core.inject_downlink(
+                Packet(
+                    direction=Direction.DOWNLINK,
+                    flow=FiveTuple(
+                        src_ip=1, dst_ip=detail["ue_ip"],
+                        src_port=80, dst_port=4000,
+                    ),
+                    created_at=env.now,
+                )
+            )
+        env.run()
+        return core, ue
+
+    def test_config_flag_enables_cache_and_exports_gauges(self):
+        core, ue = self._core_with_traffic(True)
+        assert core.upf_u.flow_cache is not None
+        assert len(ue.received) == 20
+        assert core.upf_u.flow_cache.hits == 19  # first packet fills
+        registry = core.metrics_registry()
+        assert registry.gauge("flow_cache.hits").value == 19
+        assert registry.gauge("flow_cache.hit_rate").value == 0.95
+
+    def test_cache_off_core_identical_delivery(self):
+        cached_core, cached_ue = self._core_with_traffic(True)
+        plain_core, plain_ue = self._core_with_traffic(False)
+        assert plain_core.upf_u.flow_cache is None
+        assert len(cached_ue.received) == len(plain_ue.received)
+        assert cached_core.upf_u.stats == plain_core.upf_u.stats
+
+
+# ----------------------------------------------------------------------
+# Epoch bookkeeping
+# ----------------------------------------------------------------------
+class TestEpochWiring:
+    def test_table_add_adopts_shared_epoch(self):
+        table = SessionTable()
+        session = make_session(1, LinearClassifier)
+        private = session.epoch
+        table.add(session)
+        assert session.epoch is table.epoch
+        assert session.epoch is not private
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda s: s.install_far(FAR(far_id=7)),
+            lambda s: s.update_far(FAR(far_id=2)),
+            lambda s: s.remove_pdr(1),
+            lambda s: s.install_qer_enforcer(QerEnforcer(qer_id=5)),
+            lambda s: s.install_usage_counter(UsageCounter(urr_id=5)),
+        ],
+        ids=[
+            "install_far",
+            "update_far",
+            "remove_pdr",
+            "install_qer_enforcer",
+            "install_usage_counter",
+        ],
+    )
+    def test_every_mutator_bumps(self, mutate):
+        table = SessionTable()
+        session = make_session(1, LinearClassifier)
+        table.add(session)
+        before = table.epoch.value
+        mutate(session)
+        assert table.epoch.value > before
+
+    def test_packet_key_matches_session_key(self):
+        packet = ul_packet(3)
+        session = make_session(3, LinearClassifier)
+        assert packet_key(packet) == session._packet_key(packet)
+
+
+# ----------------------------------------------------------------------
+# Property test: cache-on == cache-off == linear oracle
+# ----------------------------------------------------------------------
+SEIDS = (1, 2, 3)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("ul"), st.sampled_from(SEIDS),
+                  st.integers(1, 3)),
+        st.tuples(st.just("dl"), st.sampled_from(SEIDS),
+                  st.integers(1, 3)),
+        st.tuples(st.just("add"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("del"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("buffer-far"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("forward-far"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("drop-pdr"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("flush"), st.sampled_from(SEIDS), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Harness:
+    """One UPF stack driven by the shared op sequence."""
+
+    def __init__(self, flow_cache, classifier_class):
+        self.classifier_class = classifier_class
+        self.table = SessionTable()
+        self.upf = UPFUserPlane(
+            Environment(),
+            self.table,
+            flow_cache=flow_cache,
+            flow_cache_capacity=8,  # tiny: exercise LRU eviction too
+        )
+        self.outcomes = []
+
+    def step(self, op, seid, variant):
+        table, upf = self.table, self.upf
+        session = table.by_seid(seid)
+        if op == "ul":
+            self.outcomes.append(
+                upf.process(ul_packet(seid, src_port=4000 + variant))
+            )
+        elif op == "dl":
+            self.outcomes.append(
+                upf.process(dl_packet(seid, src_port=80 + variant))
+            )
+        elif op == "add":
+            if session is None:
+                table.add(
+                    make_session(
+                        seid, self.classifier_class, qer=True, urr=True
+                    )
+                )
+        elif op == "del":
+            table.remove(seid)
+        elif op == "buffer-far" and session is not None:
+            session.update_far(
+                FAR(
+                    far_id=2,
+                    action=FARAction(
+                        forward=False, buffer=True, notify_cp=True
+                    ),
+                )
+            )
+        elif op == "forward-far" and session is not None:
+            session.update_far(FAR(far_id=2, action=FARAction(forward=True)))
+        elif op == "drop-pdr" and session is not None:
+            if 2 in session.pdrs:
+                session.remove_pdr(2)
+            else:
+                # Re-install the DL PDR removed by a previous op.
+                fresh = make_session(seid, self.classifier_class)
+                session.install_pdr(fresh.pdrs[2])
+        elif op == "flush" and session is not None:
+            upf.flush_session(session)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_cache_on_equals_cache_off_equals_oracle(ops):
+    from repro.classifier import PartitionSortClassifier
+
+    cached = _Harness(True, PartitionSortClassifier)
+    plain = _Harness(False, PartitionSortClassifier)
+    oracle = _Harness(False, LinearClassifier)
+    for op, seid, variant in ops:
+        for harness in (cached, plain, oracle):
+            harness.step(op, seid, variant)
+        # Outcomes must agree after *every* packet, not just at the
+        # end — stale entries may never influence a single decision.
+        assert cached.outcomes == plain.outcomes == oracle.outcomes
+    assert cached.upf.stats == plain.upf.stats == oracle.upf.stats
+
+
+@settings(max_examples=25, deadline=None)
+@given(_ops)
+def test_stale_entries_never_survive_mutations(ops):
+    """After any op sequence, every resident entry is re-derivable."""
+    from repro.classifier import PartitionSortClassifier
+
+    harness = _Harness(True, PartitionSortClassifier)
+    for op, seid, variant in ops:
+        harness.step(op, seid, variant)
+    cache = harness.upf.flow_cache
+    epoch = harness.table.epoch.value
+    for key, entry in cache._entries.items():
+        if entry.generation != epoch:
+            continue  # stale: would be dropped on its next probe
+        # A current-epoch entry must match what the pipeline derives.
+        session = harness.table.by_seid(entry.session.seid)
+        assert session is entry.session
+        pdr = session.classifier.lookup(key)
+        assert pdr is not None and pdr.rule_id == entry.pdr.pdr_id
+        assert session.fars.get(entry.pdr.far_id) is entry.far
