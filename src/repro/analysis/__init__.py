@@ -11,13 +11,21 @@ Two coordinated halves guard the shared-memory core:
   sanitizer wired into :class:`~repro.core.transport.MessageBus` and
   :class:`~repro.core.rings.Ring` that stamps each descriptor with an
   owner and content fingerprint and flags mutate-after-send,
-  double-enqueue, and use-after-dequeue violations with the offending
-  send site.
+  double-enqueue, use-after-dequeue, and (at teardown) leaked
+  descriptors with the offending send site.
+* :mod:`repro.analysis.races` — an opt-in shared-state race detector
+  enforcing the single-writer ownership model of the UPF-C/UPF-U
+  split (§3.2): registered structures (session table, rule maps, flow
+  cache, smart buffers, replica checkpoints) declare an owner role
+  and every access is checked for cross-role same-instant conflicts,
+  non-owner writes, and rule mutations missing a ``RuleEpoch.bump()``.
+  Its static half lives in :mod:`repro.analysis.rules` as R008/R009.
 
-Every perf or scale PR is expected to keep ``lint`` clean and the
-tier-1 suite green under ``pytest --sanitize``.
+Every perf or scale PR is expected to keep ``lint`` clean against the
+committed baseline and the tier-1 suite green under both
+``pytest --sanitize`` and ``pytest --race``.
 """
 
 from __future__ import annotations
 
-__all__ = ["lint", "rules", "sanitizer"]
+__all__ = ["lint", "races", "rules", "sanitizer"]

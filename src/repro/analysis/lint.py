@@ -16,19 +16,39 @@ Options
     Skip the listed rule codes.
 ``--list-rules``
     Print the rule catalog and exit.
+``--baseline analysis-baseline.json``
+    Suppress findings recorded in a committed baseline file; only *new*
+    findings fail the run.  Lets a new rule land with known debt while
+    still gating every fresh violation.
+``--write-baseline analysis-baseline.json``
+    Record the current findings as the baseline and exit 0.
+
+Baseline entries are keyed ``(path, code, message)`` with an occurrence
+count, **not** line numbers, so unrelated edits that shift lines do not
+invalidate the baseline; adding a second instance of a baselined
+violation in the same file still fails.
 """
 
 from __future__ import annotations
 
 import argparse
+import collections
 import json
 import os
 import sys
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .rules import FileContext, Finding, Rule, all_rules
 
-__all__ = ["iter_python_files", "lint_file", "lint_paths", "main"]
+__all__ = [
+    "iter_python_files",
+    "lint_file",
+    "lint_paths",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "main",
+]
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
@@ -92,6 +112,64 @@ def lint_paths(
     return findings
 
 
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+#: Baseline key: stable across line-number churn.
+BaselineKey = Tuple[str, str, str]
+
+
+def _baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.path.replace("\\", "/"), finding.code, finding.message)
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Serialize the findings as a baseline file; returns entry count."""
+    counts: Dict[BaselineKey, int] = collections.Counter(
+        _baseline_key(f) for f in findings
+    )
+    entries = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "entries": entries}, handle, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, int]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    counts: Dict[BaselineKey, int] = collections.Counter()
+    for entry in data.get("entries", []):
+        key = (entry["path"], entry["code"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[BaselineKey, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Each baseline entry absorbs up to ``count`` occurrences of the same
+    (path, code, message); any excess is reported as new.
+    """
+    budget = collections.Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = _baseline_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
+
+
 def _select_rules(
     select: Optional[str], ignore: Optional[str]
 ) -> List[Rule]:
@@ -118,6 +196,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--select", metavar="CODES")
     parser.add_argument("--ignore", metavar="CODES")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--baseline", metavar="PATH")
+    parser.add_argument("--write-baseline", metavar="PATH", dest="write_to")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -132,6 +212,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+
+    if args.write_to:
+        count = write_baseline(args.write_to, findings)
+        print(
+            f"wrote baseline {args.write_to}: {count} entr"
+            f"{'y' if count == 1 else 'ies'} "
+            f"({len(findings)} finding(s))"
+        )
+        return 0
+
+    suppressed = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+
     if args.as_json:
         print(json.dumps([f.to_dict() for f in findings], indent=2))
     else:
@@ -139,6 +238,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(finding.format())
         if findings:
             print(f"{len(findings)} finding(s)")
+        if suppressed:
+            print(f"{suppressed} baselined finding(s) suppressed")
     return 1 if findings else 0
 
 

@@ -29,6 +29,16 @@ R007      ``print()`` in library code under ``src/repro`` — results
           (:mod:`repro.obs`), not stdout.  CLI entry points
           (``__main__.py``, the lint runner) and ``experiments/`` /
           ``benchmarks/`` harnesses are exempt.
+R008      Mutation of a shared UPF structure (PDR/FAR/QER/URR maps,
+          session-table indexes, ``report_pending``) from a module
+          outside the owning ``up`` package — the single-writer
+          ownership model (§3.2) routes all rule changes through the
+          UPF-C's PFCP handlers.
+R009      A function mutates a rule container (``.pdrs``, ``.fars``,
+          QER/URR maps) without calling ``.bump()`` on a rule epoch in
+          the same function body, so flow-cache readers never observe
+          the change.  ``__init__`` (construction before any reader
+          exists) is exempt.
 ========  ==================================================================
 
 Findings on a line carrying ``# repro: noqa`` (all rules) or
@@ -488,9 +498,11 @@ class PrintInLibraryRule(Rule):
     name = "print-in-library"
     severity = "warning"
 
-    #: Paths allowed to print: console entry points and the lint
-    #: runner itself (whose findings are its stdout contract).
-    EXEMPT_SUFFIXES = ("__main__.py", "analysis/lint.py")
+    #: Paths allowed to print: console entry points, the lint runner,
+    #: and the race-trace replayer (their findings are their stdout
+    #: contract).
+    EXEMPT_SUFFIXES = ("__main__.py", "analysis/lint.py",
+                       "analysis/races.py")
     EXEMPT_DIRS = ("experiments", "benchmarks")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
@@ -510,3 +522,154 @@ class PrintInLibraryRule(Rule):
                     "print() in library code; return data, record a "
                     "metric, or emit a span via repro.obs instead",
                 )
+
+
+# ---------------------------------------------------------------------------
+# Shared-state ownership helpers (R008 / R009)
+# ---------------------------------------------------------------------------
+
+#: Method names that mutate a dict/list container in place.
+_MUTATING_METHODS = frozenset({
+    "pop", "popitem", "clear", "update", "setdefault",
+    "append", "extend", "insert", "remove",
+})
+
+
+def _attr_mutations(
+    tree: ast.AST, attrs: frozenset
+) -> Iterator[Tuple[ast.AST, str, Optional[str]]]:
+    """Yield ``(node, attr, receiver)`` for each in-place mutation of an
+    attribute named in ``attrs``.
+
+    Covers rebinding (``x.attr = v``, ``x.attr += v``), item writes
+    (``x.attr[k] = v``, ``del x.attr[k]``, ``x.attr[k] += v``) and
+    mutating method calls (``x.attr.pop(k)``...).  ``receiver`` is the
+    base name the attribute hangs off (``"session"`` for
+    ``session.pdrs``), or None for computed receivers.
+    """
+
+    def receiver_name(attr_node: ast.Attribute) -> Optional[str]:
+        value = attr_node.value
+        if isinstance(value, ast.Name):
+            return value.id
+        return None
+
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Attribute) and target.attr in attrs:
+                    yield node, target.attr, receiver_name(target)
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Attribute
+                ) and target.value.attr in attrs:
+                    yield node, target.value.attr, receiver_name(target.value)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Attribute
+                ) and target.value.attr in attrs:
+                    yield node, target.value.attr, receiver_name(target.value)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _MUTATING_METHODS
+                and isinstance(func.value, ast.Attribute)
+                and func.value.attr in attrs
+            ):
+                yield node, func.value.attr, receiver_name(func.value)
+
+
+# ---------------------------------------------------------------------------
+# R008 — non-owner mutation of shared UPF structures
+# ---------------------------------------------------------------------------
+@register_rule
+class NonOwnerMutationRule(Rule):
+    """The UPF-C/UPF-U split has a single-writer discipline: rule maps
+    and session indexes are written only by the ``up`` package (PFCP
+    handlers on the C side, runtime state on the U side).  A mutation
+    reaching in from any other module bypasses both the epoch publish
+    protocol and the race detector's ownership model."""
+
+    code = "R008"
+    name = "non-owner-shared-write"
+
+    #: Attribute names registered with the race detector, owned by the
+    #: ``up`` package.
+    SHARED_ATTRS = frozenset({
+        "pdrs", "fars", "qers", "qer_enforcers", "usage_counters",
+        "report_pending", "_by_teid", "_by_ue_ip", "_by_seid",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.path_has("up"):
+            return
+        for node, attr, receiver in _attr_mutations(
+            ctx.tree, self.SHARED_ATTRS
+        ):
+            if receiver == "self":
+                # A class defining its own attribute of the same name
+                # owns it; the shared structures are never `self` here.
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"mutation of shared UPF structure .{attr} outside the "
+                "owning up/ package; route the change through the "
+                "UPF-C PFCP handlers (single-writer model, §3.2)",
+            )
+
+
+# ---------------------------------------------------------------------------
+# R009 — rule mutation without an epoch bump
+# ---------------------------------------------------------------------------
+@register_rule
+class MissingEpochBumpRule(Rule):
+    """Rule changes are *published* by ``RuleEpoch.bump()``; the flow
+    cache compares its snapshot epoch against the table's on every hit.
+    A function that mutates ``.pdrs``/``.fars``/QER/URR containers but
+    never bumps an epoch leaves stale fast-path entries serving the old
+    rules indefinitely."""
+
+    code = "R009"
+    name = "missing-epoch-bump"
+
+    RULE_ATTRS = frozenset({
+        "pdrs", "fars", "qers", "qer_enforcers", "usage_counters",
+    })
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name == "__init__":
+                # Construction happens before any reader holds a
+                # snapshot; there is nothing to publish yet.
+                continue
+            mutations = list(_attr_mutations(node, self.RULE_ATTRS))
+            if not mutations:
+                continue
+            if self._has_bump(node):
+                continue
+            first, attr, _ = mutations[0]
+            yield self.finding(
+                ctx,
+                first,
+                f"{node.name}() mutates rule container .{attr} without "
+                "calling .bump() on a rule epoch in the same function; "
+                "flow-cache readers will keep serving the old rules",
+            )
+
+    @staticmethod
+    def _has_bump(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "bump"
+            ):
+                return True
+        return False

@@ -19,6 +19,10 @@ object with its current owner and a content fingerprint, then checks:
 * **use-after-dequeue** — an object surfaces from a ring after another
   consumer already took ownership (the downstream symptom of a
   double-enqueue).
+* **leaked descriptors** — at teardown, :meth:`~DescriptorSanitizer.leaks`
+  lists every object still in flight or sitting in a ring: enqueued but
+  never dequeued/delivered, i.e. a descriptor the platform lost track
+  of.  Each leak carries the send site that originated it.
 
 Usage::
 
@@ -42,6 +46,7 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 __all__ = [
     "SanitizerError",
     "Violation",
+    "Leak",
     "DescriptorSanitizer",
     "enable",
     "disable",
@@ -102,6 +107,28 @@ class Violation:
         for path, before, after in self.diff:
             lines.append(f"  field {path}: {before} -> {after}")
         return "\n".join(lines)
+
+
+@dataclass
+class Leak:
+    """A descriptor still owned by a transport at teardown.
+
+    The object was handed over (``in-flight`` on a bus, or ``in-ring``)
+    and never delivered, dequeued, dropped, or released — on the real
+    platform this is a leaked mbuf that eventually exhausts the pool.
+    """
+
+    obj_repr: str
+    state: str  # "in-flight" | "in-ring"
+    channel: str  # bus destination / ring name holding the object
+    send_site: str  # file:line of the send/enqueue that leaked it
+
+    def report(self) -> str:
+        return (
+            f"leaked descriptor ({self.state}): {self.obj_repr}\n"
+            f"  handed over at {self.send_site} (via {self.channel}), "
+            "never dequeued or delivered"
+        )
 
 
 @dataclass
@@ -399,6 +426,31 @@ class DescriptorSanitizer:
     def release(self, descriptor: Any) -> None:
         """Explicitly mark a descriptor free (e.g. returned to a pool)."""
         self._tracked.pop(id(descriptor), None)
+
+    # -- teardown --------------------------------------------------------
+    def leaks(self) -> List[Leak]:
+        """Descriptors still owned by a transport: enqueued or sent but
+        never dequeued/delivered.  Checked-out objects are the
+        consumer's responsibility and are not leaks."""
+        out: List[Leak] = []
+        for entry in self._tracked.values():
+            if entry.state in (_State.IN_FLIGHT, _State.IN_RING):
+                out.append(
+                    Leak(
+                        obj_repr=_short(entry.obj),
+                        state=entry.state.value,
+                        channel=entry.channel,
+                        send_site=entry.site,
+                    )
+                )
+        return out
+
+    def leak_report(self) -> str:
+        leaks = self.leaks()
+        if not leaks:
+            return "descriptor sanitizer: no leaked descriptors"
+        header = f"descriptor sanitizer: {len(leaks)} leaked descriptor(s)\n"
+        return header + "\n\n".join(leak.report() for leak in leaks)
 
 
 # ---------------------------------------------------------------------------

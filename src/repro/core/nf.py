@@ -92,7 +92,9 @@ class NetworkFunction:
         if self._process is not None:
             raise RuntimeError(f"{self.name} already started")
         self.status = NFStatus.RUNNING
-        self._process = self.env.process(self._run())
+        # Named after the NF so the race detector can attribute the
+        # loop's shared-state accesses to this role.
+        self._process = self.env.process(self._run(), name=self.name)
 
     def freeze(self) -> None:
         """Enter the zero-CPU standby state (cgroup freezer)."""

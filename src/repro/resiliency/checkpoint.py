@@ -18,6 +18,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..analysis import races as _races
+
 __all__ = ["StateDelta", "CheckpointStore", "compute_delta", "apply_delta"]
 
 #: A flattened state path: the chain of dict keys to a leaf.
@@ -132,6 +134,9 @@ class CheckpointStore:
 
     def update(self, snapshot: Dict[str, Any]) -> None:
         """Record the primary's current state."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(self, "state", detail="update(snapshot)")
         self.state = copy.deepcopy(snapshot)
 
     def delta_since_last(self, counter: int) -> StateDelta:
@@ -145,5 +150,10 @@ class CheckpointStore:
 
     def apply(self, delta: StateDelta) -> None:
         """Replica side: fold a received delta."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "state", detail=f"apply(delta@{delta.counter})"
+            )
         apply_delta(self.state, delta)
         self.applied_counter = max(self.applied_counter, delta.counter)

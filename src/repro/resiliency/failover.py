@@ -95,7 +95,9 @@ class ResiliencyFramework:
     def start(self) -> None:
         self._running = True
         self.probe.start()
-        self.env.process(self._sync_loop())
+        # Named process: the race detector attributes the loop's
+        # checkpoint-store writes to the "replica" role.
+        self.env.process(self._sync_loop(), name="replica")
 
     def stop(self) -> None:
         self._running = False

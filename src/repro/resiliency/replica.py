@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Optional, Protocol
 
+from ..analysis import races as _races
 from .checkpoint import CheckpointStore, StateDelta
 
 __all__ = ["StatefulNF", "LocalReplica", "RemoteReplica"]
@@ -47,17 +48,38 @@ class LocalReplica:
         #: cycles" claim).
         self.cpu_while_frozen = 0.0
         self.instance: Optional[StatefulNF] = None
+        detector = _races.active()
+        if detector is not None:
+            # Checkpoint state has a single writer: the replica
+            # machinery (sync on the primary side, apply/restore on
+            # the standby side) — never the NFs themselves.
+            detector.register(
+                self.store,
+                label=f"replica({name}).store",
+                owner="replica",
+            )
 
     def sync(self, snapshot: Dict[str, Any]) -> None:
         """Fold the primary's current state (no-replay scheme)."""
-        self.store.update(snapshot)
+        detector = _races.active()
+        if detector is None:
+            self.store.update(snapshot)
+        else:
+            with detector.role("replica"):
+                self.store.update(snapshot)
         self.syncs += 1
 
     def activate(self) -> StatefulNF:
         """Unfreeze: instantiate the NF from the synchronized state."""
         self.frozen = False
         self.instance = self._factory()
-        self.instance.restore(self.store.state)
+        detector = _races.active()
+        if detector is None:
+            self.instance.restore(self.store.state)
+        else:
+            with detector.role("replica"):
+                detector.on_read(self.store, "state")
+                self.instance.restore(self.store.state)
         return self.instance
 
 
@@ -80,12 +102,25 @@ class RemoteReplica:
 
     def ensure_store(self, nf_name: str) -> CheckpointStore:
         if nf_name not in self.stores:
-            self.stores[nf_name] = CheckpointStore()
+            store = CheckpointStore()
+            self.stores[nf_name] = store
+            detector = _races.active()
+            if detector is not None:
+                detector.register(
+                    store,
+                    label=f"{self.name}.store({nf_name})",
+                    owner="replica",
+                )
         return self.stores[nf_name]
 
     def receive_delta(self, nf_name: str, delta: StateDelta) -> int:
         """Apply a delta; returns the acknowledged counter."""
-        self.ensure_store(nf_name).apply(delta)
+        detector = _races.active()
+        if detector is None:
+            self.ensure_store(nf_name).apply(delta)
+        else:
+            with detector.role("replica"):
+                self.ensure_store(nf_name).apply(delta)
         self.deltas_received += 1
         self.synced_counter = max(self.synced_counter, delta.counter)
         return self.synced_counter
@@ -94,4 +129,8 @@ class RemoteReplica:
         self.frozen = False
 
     def state_of(self, nf_name: str) -> Dict[str, Any]:
-        return self.ensure_store(nf_name).state
+        store = self.ensure_store(nf_name)
+        detector = _races.active()
+        if detector is not None:
+            detector.on_read(store, "state")
+        return store.state

@@ -33,6 +33,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..analysis import races as _races
+
 #: One microsecond, in simulation seconds.
 US = 1e-6
 #: One millisecond, in simulation seconds.
@@ -161,12 +163,22 @@ class Timeout(Event):
 
 
 class Process(Event):
-    """A running generator; also an event that fires when it returns."""
+    """A running generator; also an event that fires when it returns.
 
-    def __init__(self, env: "Environment", generator: Generator):
+    ``name`` optionally labels the process (NF run loops use their NF
+    name); the race detector treats a named process as an acting role.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator,
+        name: Optional[str] = None,
+    ):
         if not hasattr(generator, "send"):
             raise SimulationError("process() requires a generator")
         super().__init__(env)
+        self.name = name
         self._generator = generator
         self._target: Optional[Event] = None
         # Kick-start on the next tick.
@@ -200,7 +212,13 @@ class Process(Event):
 
     # -- internal --------------------------------------------------------
     def _resume(self, event: Event) -> None:
+        # Each resume opens one yield-to-yield atomic section; the
+        # generation counter identifies it for the race detector.
+        self.env.yield_generation += 1
         self.env._active_process = self
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_resume(self)
         try:
             if event._ok:
                 target = self._generator.send(event._value)
@@ -311,6 +329,9 @@ class Environment:
         self._heap: List[tuple] = []
         self._counter = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Monotonic count of process resumes; each value identifies
+        #: one yield-to-yield atomic section (see repro.analysis.races).
+        self.yield_generation = 0
 
     @property
     def now(self) -> float:
@@ -331,9 +352,11 @@ class Environment:
         """An event that fires ``delay`` seconds from now."""
         return Timeout(self, delay, value)
 
-    def process(self, generator: Generator) -> Process:
+    def process(
+        self, generator: Generator, name: Optional[str] = None
+    ) -> Process:
         """Start a new process from a generator."""
-        return Process(self, generator)
+        return Process(self, generator, name=name)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """An event that fires when all of ``events`` have fired."""

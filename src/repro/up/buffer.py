@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
+from ..analysis import races as _races
 from ..net.packet import Packet
 
 __all__ = ["SmartBuffer", "DEFAULT_UPF_BUFFER_PACKETS"]
@@ -43,6 +44,11 @@ class SmartBuffer:
 
     def push(self, packet: Packet) -> bool:
         """Buffer a packet; False (and counted) when full."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "packets", value=len(self._packets) + 1, detail="push"
+            )
         if len(self._packets) >= self.capacity:
             self.dropped += 1
             return False
@@ -52,6 +58,9 @@ class SmartBuffer:
 
     def drain(self) -> List[Packet]:
         """Release all packets in arrival order."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(self, "packets", value=0, detail="drain")
         released = self._packets
         self._packets = []
         self.drained_total += len(released)
@@ -59,4 +68,7 @@ class SmartBuffer:
 
     def peek_all(self) -> List[Packet]:
         """Read-only snapshot in arrival order."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "packets")
         return list(self._packets)

@@ -37,6 +37,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
+from ..analysis import races as _races
+
 __all__ = [
     "DEFAULT_FLOW_CACHE_CAPACITY",
     "RuleEpoch",
@@ -67,6 +69,9 @@ class RuleEpoch:
     def bump(self) -> int:
         """Invalidate every decision derived from the previous epoch."""
         self.value += 1
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_bump()
         return self.value
 
     def __repr__(self) -> str:
@@ -140,12 +145,20 @@ class FlowCache:
         self.inserts = 0
         #: Entries dropped eagerly on session removal.
         self.purged = 0
+        detector = _races.active()
+        if detector is not None:
+            # The cache is UPF-U private state: only the forwarding
+            # pipeline may fill, probe, or purge it.
+            detector.register(self, label="flow-cache", owner="upf-u")
 
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
     def lookup(self, key: Hashable) -> Optional[FlowCacheEntry]:
         """One exact-match probe; None on miss or stale entry."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "entries")
         entries = self._entries
         entry = entries.get(key)
         if entry is None:
@@ -173,6 +186,12 @@ class FlowCache:
         counter: Any = None,
     ) -> FlowCacheEntry:
         """Memoize one slow-path decision under the current epoch."""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "entries", value=len(self._entries) + 1,
+                detail=f"insert(seid={getattr(session, 'seid', None)})",
+            )
         entries = self._entries
         if key in entries:
             del entries[key]
@@ -196,6 +215,12 @@ class FlowCache:
         deleted session's context is not pinned in memory until LRU
         pressure happens to evict its flows.
         """
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "entries",
+                detail=f"purge_session(seid={getattr(session, 'seid', None)})",
+            )
         entries = self._entries
         dead = [key for key, entry in entries.items() if entry.session is session]
         for key in dead:
@@ -204,6 +229,9 @@ class FlowCache:
         return len(dead)
 
     def clear(self) -> None:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(self, "entries", detail="clear()")
         self._entries.clear()
 
     def __len__(self) -> int:

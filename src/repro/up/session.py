@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Type
 
+from ..analysis import races as _races
 from ..classifier.base import Classifier
 from ..classifier.partition_sort import PartitionSortClassifier
 from ..net.packet import Direction, Packet
@@ -106,10 +107,48 @@ class UPFSession:
         self.buffer = SmartBuffer(buffer_capacity)
         #: Set while the CP has been notified of buffered DL data and
         #: paging is in flight (suppresses duplicate reports).
-        self.report_pending = False
+        self._report_pending = False
         #: Rule-mutation epoch; rebound to the table's shared epoch by
         #: :meth:`SessionTable.add` so one counter covers all sessions.
         self.epoch = RuleEpoch()
+        detector = _races.active()
+        if detector is not None:
+            # §3.2 single-writer split: the UPF-C owns the rule sets,
+            # the UPF-U owns the runtime state (buffer, report flag).
+            detector.register(
+                self,
+                label=f"session(seid={seid})",
+                owner="upf-c",
+                parts={"report_pending": "upf-u"},
+                rule_parts=(
+                    "pdrs",
+                    "fars",
+                    "qers",
+                    "qer_enforcers",
+                    "usage_counters",
+                ),
+            )
+            detector.register(
+                self.buffer,
+                label=f"session(seid={seid}).buffer",
+                owner="upf-u",
+            )
+
+    @property
+    def report_pending(self) -> bool:
+        return self._report_pending
+
+    @report_pending.setter
+    def report_pending(self, value: bool) -> None:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self,
+                "report_pending",
+                value=value,
+                detail=f"report_pending = {value}",
+            )
+        self._report_pending = value
 
     # -- rule management ----------------------------------------------------
     def install_pdr(self, pdr: PDR) -> None:
@@ -119,6 +158,7 @@ class UPFSession:
             self.classifier.remove_by_id(existing.match.rule_id)
         self.pdrs[pdr.pdr_id] = pdr
         self.classifier.insert(pdr.match)
+        self._note_rule_write("pdrs", self.pdrs, f"install_pdr({pdr.pdr_id})")
         self.epoch.bump()
 
     def remove_pdr(self, pdr_id: int) -> bool:
@@ -126,11 +166,13 @@ class UPFSession:
         if pdr is None:
             return False
         self.classifier.remove_by_id(pdr.match.rule_id)
+        self._note_rule_write("pdrs", self.pdrs, f"remove_pdr({pdr_id})")
         self.epoch.bump()
         return True
 
     def install_far(self, far: FAR) -> None:
         self.fars[far.far_id] = far
+        self._note_rule_write("fars", self.fars, f"install_far({far.far_id})")
         self.epoch.bump()
 
     def update_far(self, far: FAR) -> None:
@@ -143,6 +185,9 @@ class UPFSession:
         existing = self.fars.get(far.far_id)
         if existing is None:
             self.fars[far.far_id] = far
+            self._note_rule_write(
+                "fars", self.fars, f"update_far({far.far_id})"
+            )
             self.epoch.bump()
             return
         action = existing.action
@@ -155,19 +200,38 @@ class UPFSession:
             action.outer_teid = new.outer_teid
             action.outer_address = new.outer_address
             action.destination_interface = new.destination_interface
+        self._note_rule_write("fars", self.fars, f"update_far({far.far_id})")
         self.epoch.bump()
 
     def install_qer(self, qer: QER) -> None:
         self.qers[qer.qer_id] = qer
+        self._note_rule_write("qers", self.qers, f"install_qer({qer.qer_id})")
         self.epoch.bump()
 
     def install_qer_enforcer(self, enforcer: "QerEnforcer") -> None:
         self.qer_enforcers[enforcer.qer_id] = enforcer
+        self._note_rule_write(
+            "qer_enforcers",
+            sorted(self.qer_enforcers),
+            f"install_qer_enforcer({enforcer.qer_id})",
+        )
         self.epoch.bump()
 
     def install_usage_counter(self, counter: "UsageCounter") -> None:
         self.usage_counters[counter.urr_id] = counter
+        self._note_rule_write(
+            "usage_counters",
+            sorted(self.usage_counters),
+            f"install_usage_counter({counter.urr_id})",
+        )
         self.epoch.bump()
+
+    def _note_rule_write(self, part: str, value, detail: str) -> None:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, part, value=value, rule_mutation=True, detail=detail
+            )
 
     # -- lookup ---------------------------------------------------------------
     def match_pdr(self, packet: Packet, key=None) -> Optional[PDR]:
@@ -177,6 +241,9 @@ class UPFSession:
         already derived it (the flow-cache miss path) don't pay the
         20-field build twice.
         """
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "pdrs")
         if key is None:
             key = packet_key(packet)
         rule = self.classifier.lookup(key)
@@ -203,6 +270,16 @@ class SessionTable:
         #: Shared generation counter for epoch-based cache invalidation.
         self.epoch = RuleEpoch()
         self._removal_listeners: List[Callable[[UPFSession], None]] = []
+        detector = _races.active()
+        if detector is not None:
+            # Membership is control-plane state: only the UPF-C adds
+            # or removes sessions; the UPF-U performs lookups.
+            detector.register(
+                self,
+                label="session-table",
+                owner="upf-c",
+                rule_parts=("sessions",),
+            )
 
     def add_removal_listener(
         self, listener: Callable[[UPFSession], None]
@@ -223,6 +300,14 @@ class SessionTable:
         # Adopt the shared epoch: any later rule change on this session
         # invalidates the whole cache with one integer bump.
         session.epoch = self.epoch
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self,
+                "sessions",
+                value=sorted(self._by_seid),
+                detail=f"add(seid={session.seid})",
+            )
         self.epoch.bump()
 
     def remove(self, seid: int) -> Optional[UPFSession]:
@@ -231,6 +316,14 @@ class SessionTable:
             return None
         self._by_teid.pop(session.ul_teid, None)
         self._by_ue_ip.pop(session.ue_ip, None)
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self,
+                "sessions",
+                value=sorted(self._by_seid),
+                detail=f"remove(seid={seid})",
+            )
         self.epoch.bump()
         for listener in self._removal_listeners:
             listener(session)
@@ -238,13 +331,22 @@ class SessionTable:
 
     def by_teid(self, teid: int) -> Optional[UPFSession]:
         """UL lookup: which session owns this tunnel endpoint?"""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "sessions")
         return self._by_teid.get(teid)
 
     def by_ue_ip(self, ue_ip: int) -> Optional[UPFSession]:
         """DL lookup: which session owns this UE address?"""
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "sessions")
         return self._by_ue_ip.get(ue_ip)
 
     def by_seid(self, seid: int) -> Optional[UPFSession]:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "sessions")
         return self._by_seid.get(seid)
 
     def __len__(self) -> int:

@@ -14,6 +14,7 @@ import itertools
 from dataclasses import replace
 from typing import Callable, List, Optional, Type
 
+from ..analysis import races as _races
 from ..classifier.base import Classifier
 from ..classifier.partition_sort import PartitionSortClassifier
 from ..pfcp import ies as pfcp_ies
@@ -83,7 +84,18 @@ class UPFControlPlane:
 
     # ------------------------------------------------------------------
     def handle(self, message: PFCPMessage) -> PFCPMessage:
-        """Dispatch one PFCP session message, returning the response."""
+        """Dispatch one PFCP session message, returning the response.
+
+        All rule-state writes happen under the "upf-c" role: this is
+        the single writer of the shared session rules (§3.2).
+        """
+        detector = _races.active()
+        if detector is None:
+            return self._dispatch(message)
+        with detector.role("upf-c"):
+            return self._dispatch(message)
+
+    def _dispatch(self, message: PFCPMessage) -> PFCPMessage:
         self.messages_handled += 1
         if isinstance(message, SessionEstablishmentRequest):
             return self._establish(message)
@@ -186,8 +198,10 @@ class UPFControlPlane:
             session.install_qer_enforcer(self._decode_qer(qer_ie))
         for urr_ie in message.find_all(qos_ies.CreateUrrIE):
             session.install_usage_counter(self._decode_urr(urr_ie))
-        if released:
-            session.report_pending = False
+        # Note: ``report_pending`` is UPF-U state; the flush above
+        # already cleared it (flush_session runs under the "upf-u"
+        # role).  The UPF-C must not write it — the race detector
+        # flags that as a non-owner write.
         return SessionModificationResponse(
             seid=message.seid, sequence=message.sequence, ies=response_ies
         )

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional
 
+from ..analysis import races as _races
 from ..core.costs import DEFAULT_COSTS, CostModel
 from ..core.nf import NetworkFunction
 from ..core.pool import Descriptor
@@ -180,6 +181,13 @@ class UPFUserPlane(NetworkFunction):
         per-stage attribution the 5GC²ache-style analyses need.  With
         tracing off the pipeline runs the exact same statements.
         """
+        detector = _races._ACTIVE
+        if detector is None:
+            return self._process_packet(packet)
+        with detector.role("upf-u"):
+            return self._process_packet(packet)
+
+    def _process_packet(self, packet: Packet) -> str:
         tracer = _tracing.active()
         if tracer is None:
             return self._pipeline(packet, None, None)
@@ -244,6 +252,9 @@ class UPFUserPlane(NetworkFunction):
         if pdr is None:
             stats.dropped_no_pdr += 1
             return "drop-no-pdr"
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(session, "fars")
         far = session.fars.get(pdr.far_id)
         if far is None:
             stats.dropped_no_pdr += 1
@@ -272,11 +283,18 @@ class UPFUserPlane(NetworkFunction):
 
         Without this, ``_drain_until`` entries (and cached flow
         decisions pinning the session context) leaked for every
-        session the UPF-C deleted.
+        session the UPF-C deleted.  The purge runs logically in the
+        UPF-U (the listener models the removal signal it receives), so
+        it executes under the "upf-u" role.
         """
         self._drain_until.pop(session.seid, None)
         if self.flow_cache is not None:
-            self.flow_cache.purge_session(session)
+            detector = _races._ACTIVE
+            if detector is None:
+                self.flow_cache.purge_session(session)
+            else:
+                with detector.role("upf-u"):
+                    self.flow_cache.purge_session(session)
 
     def _lookup_session(self, packet: Packet) -> Optional[UPFSession]:
         if packet.direction is Direction.UPLINK:
@@ -413,7 +431,18 @@ class UPFUserPlane(NetworkFunction):
         Draining is not free: each buffered packet is re-injected
         serially (see :meth:`CostModel.buffer_reinject`), and traffic
         arriving during the drain queues behind it.
+
+        The UPF-C triggers the flush, but the drain itself is UPF-U
+        work (the real system signals the forwarding process), so it
+        executes under the "upf-u" role.
         """
+        detector = _races._ACTIVE
+        if detector is None:
+            return self._flush_session(session)
+        with detector.role("upf-u"):
+            return self._flush_session(session)
+
+    def _flush_session(self, session: UPFSession) -> int:
         far = self._downlink_far(session)
         released = session.buffer.drain()
         if far is None or far.action.outer_teid is None:

@@ -6,12 +6,22 @@ through :class:`~repro.core.transport.MessageBus` and
 :class:`~repro.core.rings.Ring` is stamped with an owner and content
 fingerprint, and any mutate-after-send, double-enqueue, or
 use-after-dequeue violation fails the test with the offending send
-site and a field-level diff.
+site and a field-level diff.  Descriptors still sitting in a transport
+at teardown are reported as leak warnings.
+
+``pytest --race`` runs every test under the shared-state race detector
+(:mod:`repro.analysis.races`): cross-role same-instant conflicts,
+non-owner writes, and rule mutations missing an epoch bump fail the
+test with both access sites.  ``--race-trace PATH`` additionally
+appends every recorded access to a JSON-lines trace that
+``python -m repro.analysis.races PATH`` can replay offline.
 """
+
+import warnings
 
 import pytest
 
-from repro.analysis import sanitizer
+from repro.analysis import races, sanitizer
 
 
 def pytest_addoption(parser):
@@ -24,6 +34,46 @@ def pytest_addoption(parser):
             "ownership/aliasing violations fail the test"
         ),
     )
+    parser.addoption(
+        "--race",
+        action="store_true",
+        default=False,
+        help=(
+            "run all tests under the shared-state race detector; "
+            "ownership/conflict violations fail the test"
+        ),
+    )
+    parser.addoption(
+        "--race-trace",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "with --race: append each test's recorded accesses to a "
+            "JSON-lines trace replayable via python -m "
+            "repro.analysis.races"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "no_race: host-time micro-benchmark whose wall-clock "
+        "measurements are skewed by the race detector's access hooks; "
+        "skipped under --race",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if not config.getoption("--race"):
+        return
+    skip = pytest.mark.skip(
+        reason="host-time benchmark; --race instrumentation skews it"
+    )
+    for item in items:
+        if item.get_closest_marker("no_race"):
+            item.add_marker(skip)
 
 
 @pytest.fixture(autouse=True)
@@ -35,3 +85,26 @@ def _descriptor_sanitizer(request):
         yield san
     if san.violations:
         pytest.fail(san.report(), pytrace=False)
+    leaks = san.leaks()
+    if leaks:
+        # A leak is a warning, not a failure: several tests legitimately
+        # tear down mid-flight (failure injection) and the report is
+        # what matters.
+        warnings.warn(
+            f"{request.node.nodeid}: {san.leak_report()}",
+            stacklevel=1,
+        )
+
+
+@pytest.fixture(autouse=True)
+def _race_detector(request):
+    if not request.config.getoption("--race"):
+        yield None
+        return
+    trace_path = request.config.getoption("--race-trace")
+    with races.traced(record=trace_path is not None) as det:
+        yield det
+    if trace_path is not None:
+        det.dump_trace(trace_path, header={"test": request.node.nodeid})
+    if det.violations:
+        pytest.fail(det.report(), pytrace=False)

@@ -1,0 +1,575 @@
+"""Tests for the shared-state race detector (repro.analysis.races).
+
+Three kinds of coverage:
+
+* seeded hazards — fixtures that plant each violation class (same-
+  instant write/write conflict, non-owner write, rule mutation without
+  an epoch bump) and assert the exact report contents, including both
+  access sites;
+* clean runs — full attach, N2 handover, paging re-activation, and a
+  UPF failover rebuild, each asserted race-free under an active
+  detector (these double as regressions for the ownership fixes);
+* the trace/replay pipeline — ``--race-trace`` JSON lines replayed
+  through ``python -m repro.analysis.races``.
+
+The seeded fixtures intentionally violate the single-writer lint rules
+and carry ``repro: noqa`` markers — they are the bug, on purpose.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis import races
+from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
+from repro.net import Direction, FiveTuple, Packet, PacketKind
+from repro.pfcp.builder import build_session_establishment
+from repro.resiliency import ResiliencyFramework
+from repro.sim import MS, Environment
+from repro.up import FAR, FARAction, UPFSession
+
+UE_IP = 0x0A3C0001
+SUPI = "imsi-208930000060001"
+
+
+def _session(seid=1):
+    return UPFSession(seid=seid, ue_ip=UE_IP, ul_teid=0x100)
+
+
+def _drive(env, *procedures):
+    results = []
+
+    def scenario():
+        for procedure in procedures:
+            results.append((yield from procedure))
+
+    env.process(scenario())
+    env.run()
+    return results
+
+
+def _attached_core(env, supi=SUPI):
+    core = FiveGCore(env, SystemConfig.l25gc())
+    runner = ProcedureRunner(core)
+    ue = core.add_ue(supi)
+    return core, runner, ue
+
+
+class TestEngineSections:
+    def test_yield_generation_counts_resumes(self):
+        env = Environment()
+        seen = []
+
+        def proc():
+            seen.append(env.yield_generation)
+            yield env.timeout(1)
+            seen.append(env.yield_generation)
+
+        env.process(proc())
+        env.run()
+        assert seen == [1, 2]
+
+    def test_generations_distinguish_interleaved_processes(self):
+        env = Environment()
+        seen = []
+
+        def proc(tag):
+            seen.append((tag, env.yield_generation))
+            yield env.timeout(0)
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        generations = [gen for _tag, gen in seen]
+        assert len(set(generations)) == 2
+
+    def test_named_process_exposes_name(self):
+        env = Environment()
+
+        def proc():
+            yield env.timeout(0)
+
+        process = env.process(proc(), name="upf-u")
+        assert process.name == "upf-u"
+        env.run()
+
+    def test_nf_run_loop_is_named(self):
+        from repro.core.nf import NetworkFunction
+
+        env = Environment()
+        nf = NetworkFunction(env, "upf-u", service_id=2)
+        nf.start()
+        assert nf._process.name == "upf-u"
+
+
+class TestSeededNonOwnerWrite:
+    def test_cp_clearing_report_pending_is_flagged(self):
+        with races.traced() as det:
+            session = _session()
+            with det.role("upf-u"):
+                session.report_pending = True
+            with det.role("upf-c"):
+                session.report_pending = False
+        [violation] = det.violations
+        assert violation.kind == "non-owner-write"
+        assert violation.structure == "session(seid=1)"
+        assert violation.part == "report_pending"
+        assert violation.owner == "upf-u"
+        # Both access sites are reported and point into this file.
+        assert "test_analysis_races.py" in violation.first.site
+        assert "test_analysis_races.py" in violation.second.site
+        assert violation.first.role == "upf-u"
+        assert violation.second.role == "upf-c"
+        assert violation.diff == [("<value>", "True", "False")]
+        text = violation.report()
+        assert "prior write" in text
+        assert "this  write" in text
+        assert "report_pending" in text
+
+    def test_owner_write_is_clean(self):
+        with races.traced() as det:
+            session = _session()
+            with det.role("upf-u"):
+                session.report_pending = True
+                session.report_pending = False
+        assert det.violations == []
+
+    def test_roleless_harness_write_is_exempt(self):
+        """Setup/teardown code outside any role plays the operator CLI
+        and is recorded but not checked."""
+        with races.traced() as det:
+            session = _session()
+            session.report_pending = True
+        assert det.violations == []
+        assert det.accesses > 0
+
+
+class TestSeededWriteWriteConflict:
+    def test_same_instant_cross_role_writes_conflict(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+            session = _session()
+
+            def upf_u_writer():
+                with det.role("upf-u"):
+                    session.report_pending = True
+                yield env.timeout(0)
+
+            def rogue_writer():
+                with det.role("upf-c"):
+                    session.report_pending = False
+                yield env.timeout(0)
+
+            env.process(upf_u_writer())
+            env.process(rogue_writer())
+            env.run()
+        conflicts = [
+            v for v in det.violations if v.kind == "conflicting-access"
+        ]
+        [conflict] = conflicts
+        assert conflict.part == "report_pending"
+        assert {conflict.first.role, conflict.second.role} == {
+            "upf-u", "upf-c",
+        }
+        # Same simulated instant, different atomic sections.
+        assert conflict.first.time == pytest.approx(conflict.second.time)
+        assert conflict.first.generation != conflict.second.generation
+        assert "test_analysis_races.py" in conflict.first.site
+        assert "test_analysis_races.py" in conflict.second.site
+
+    def test_write_then_read_across_roles_conflicts(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+            session = _session()
+
+            def writer():
+                with det.role("upf-c"):
+                    det.on_write(session, "fars", detail="seeded")
+                yield env.timeout(0)
+
+            def reader():
+                with det.role("upf-u"):
+                    det.on_read(session, "fars")
+                yield env.timeout(0)
+
+            env.process(writer())
+            env.process(reader())
+            env.run()
+        kinds = [v.kind for v in det.violations]
+        assert "conflicting-access" in kinds
+
+    def test_reads_never_conflict(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+            session = _session()
+
+            def reader(role_name):
+                with det.role(role_name):
+                    det.on_read(session, "fars")
+                yield env.timeout(0)
+
+            env.process(reader("upf-u"))
+            env.process(reader("upf-c"))
+            env.run()
+        assert det.violations == []
+
+    def test_same_atomic_section_never_conflicts(self):
+        """A synchronous call chain (e.g. UPF-C triggering a flush that
+        does UPF-U work) is program-ordered, not a race."""
+        env = Environment()
+        with races.traced(env=env) as det:
+            session = _session()
+
+            def chain():
+                with det.role("upf-c"):
+                    det.on_write(session, "fars", detail="modify")
+                    with det.role("upf-u"):
+                        det.on_read(session, "fars")
+                yield env.timeout(0)
+
+            env.process(chain())
+            env.run()
+        conflicts = [
+            v for v in det.violations if v.kind == "conflicting-access"
+        ]
+        assert conflicts == []
+
+    def test_main_thread_accesses_never_conflict(self):
+        """Harness code runs between engine steps, so it is serialized
+        against every process even at the same simulated time."""
+        env = Environment()
+        with races.traced(env=env) as det:
+            session = _session()
+            with det.role("upf-c"):
+                det.on_write(session, "fars", detail="from main")
+
+            def reader():
+                with det.role("upf-u"):
+                    det.on_read(session, "fars")
+                yield env.timeout(0)
+
+            env.process(reader())
+            env.run()
+        conflicts = [
+            v for v in det.violations if v.kind == "conflicting-access"
+        ]
+        assert conflicts == []
+
+
+class TestSeededMissingEpochBump:
+    def test_unbumped_mutation_flagged_at_next_yield(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+
+            def buggy_cp(session):
+                with det.role("upf-c"):
+                    session.fars[9] = "far"  # repro: noqa[R008,R009] — seeded bug
+                    det.on_write(
+                        session,
+                        "fars",
+                        value=sorted(session.fars),
+                        detail="install_far(9) without bump",
+                    )
+                yield env.timeout(1)
+
+            env.process(buggy_cp(_session()))
+            env.run()
+        [violation] = det.violations
+        assert violation.kind == "missing-epoch-bump"
+        assert violation.part == "fars"
+        assert violation.second.role == "upf-c"
+        assert "test_analysis_races.py" in violation.second.site
+        assert "RuleEpoch.bump()" in violation.detail
+
+    def test_unbumped_mutation_flagged_at_finish(self):
+        with races.traced() as det:
+            session = _session()
+            with det.role("upf-c"):
+                session.fars[9] = "far"  # repro: noqa[R008,R009] — seeded bug
+                det.on_write(session, "fars", detail="no bump, no yield")
+        [violation] = det.violations
+        assert violation.kind == "missing-epoch-bump"
+        assert "never followed" in violation.detail
+
+    def test_bumped_mutation_is_clean(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+
+            def proper_cp(session):
+                with det.role("upf-c"):
+                    session.install_far(FAR(far_id=9, action=FARAction()))
+                yield env.timeout(1)
+
+            env.process(proper_cp(_session()))
+            env.run()
+        assert det.violations == []
+
+
+class TestDetectorCore:
+    def test_unregistered_objects_are_ignored(self):
+        with races.traced() as det:
+            det.on_write(object(), "anything")
+            det.on_read(object(), "anything")
+        assert det.accesses == 0
+        assert det.violations == []
+
+    def test_registered_predicate(self):
+        with races.traced() as det:
+            session = _session()
+            assert det.registered(session)
+            assert det.registered(session.buffer)
+            assert not det.registered(object())
+
+    def test_role_stack_nests_and_restores(self):
+        det = races.RaceDetector()
+        assert det.current_role() is None
+        with det.role("upf-c"):
+            assert det.current_role() == "upf-c"
+            with det.role("upf-u"):
+                assert det.current_role() == "upf-u"
+            assert det.current_role() == "upf-c"
+        assert det.current_role() is None
+
+    def test_repeat_violations_deduplicate_with_count(self):
+        with races.traced() as det:
+            session = _session()
+            with det.role("upf-u"):
+                session.report_pending = True
+            for _ in range(3):
+                with det.role("upf-c"):
+                    session.report_pending = False
+        # First clear pairs with the upf-u write; the repeats pair with
+        # the previous upf-c clear (same sites) and collapse into one
+        # counted violation instead of flooding the report.
+        assert len(det.violations) == 2
+        assert det.violations[1].count == 2
+        assert "2 occurrences" in det.violations[1].report()
+
+    def test_strict_mode_raises(self):
+        with pytest.raises(races.RaceError):
+            with races.traced(strict=True) as det:
+                session = _session()
+                with det.role("upf-c"):
+                    session.report_pending = False
+
+    def test_to_dict_round_trips_to_json(self):
+        with races.traced() as det:
+            session = _session()
+            with det.role("upf-c"):
+                session.report_pending = False
+        payload = json.loads(json.dumps(det.to_dict()))
+        assert payload["violations"][0]["kind"] == "non-owner-write"
+        assert payload["violations"][0]["second"]["role"] == "upf-c"
+        assert payload["accesses"] == det.accesses
+
+    def test_disabled_hooks_cost_nothing(self, monkeypatch):
+        """With no active detector the instrumented paths stay silent
+        (also under ``pytest --race``, hence the explicit disable)."""
+        monkeypatch.setattr(races, "_ACTIVE", None)
+        assert races.active() is None
+        session = _session()
+        session.report_pending = True
+        session.install_far(FAR(far_id=1, action=FARAction()))
+        assert races.active() is None
+
+
+class TestCleanScenarios:
+    def test_attach_is_race_clean(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+            core, runner, ue = _attached_core(env)
+            _drive(
+                env,
+                runner.register_ue(ue, gnb_id=1),
+                runner.establish_session(ue),
+            )
+        assert det.violations == [], det.report()
+        assert det.accesses > 0
+
+    def test_n2_handover_is_race_clean(self):
+        env = Environment()
+        with races.traced(env=env) as det:
+            core, runner, ue = _attached_core(env)
+            _drive(
+                env,
+                runner.register_ue(ue, gnb_id=1),
+                runner.establish_session(ue),
+            )
+            _drive(env, runner.handover(ue, target_gnb_id=2))
+        assert det.violations == [], det.report()
+
+    def test_paging_reactivation_is_race_clean(self):
+        """Regression for the ownership fix in UPF-C's session modify:
+        clearing ``report_pending`` (UPF-U state) is now left to the
+        flush the UPF-U itself performs; the old direct clear from the
+        PFCP handler fails this test as a non-owner-write."""
+        env = Environment()
+        with races.traced(env=env) as det:
+            core, runner, ue = _attached_core(env)
+            _drive(
+                env,
+                runner.register_ue(ue, gnb_id=1),
+                runner.establish_session(ue),
+                runner.release_to_idle(ue),
+            )
+            session = core.sessions.sessions()[0]
+
+            def on_report(report):
+                def page():
+                    yield from runner.page_ue(ue)
+
+                env.process(page())
+
+            core.on_report = on_report
+            core.inject_downlink(
+                Packet(
+                    direction=Direction.DOWNLINK,
+                    flow=FiveTuple(src_ip=1, dst_ip=session.ue_ip,
+                                   src_port=80, dst_port=4000),
+                    created_at=env.now,
+                )
+            )
+            env.run()
+            # The paging cycle completed and the report flag is down
+            # again — cleared by the UPF-U's flush, not by the UPF-C.
+            assert len(ue.received) == 1
+            assert session.buffer.is_empty
+            assert session.report_pending is False
+        assert det.violations == [], det.report()
+
+    def test_upf_failover_rebuild_is_race_clean(self):
+        """The §3.5 unit-failure path: checkpointed CP state restores
+        into a survivor unit, the UPF session is rebuilt through the
+        survivor's PFCP handler, and data flows — all race-free."""
+        env = Environment()
+        with races.traced(env=env) as det:
+            primary = FiveGCore(env, SystemConfig.l25gc())
+            survivor = FiveGCore(env, SystemConfig.l25gc())
+            for core in (primary, survivor):
+                for gnb in core.gnbs.values():
+                    gnb.radio_latency = 0.0
+            runner = ProcedureRunner(primary)
+            ue = primary.add_ue(SUPI)
+            framework = ResiliencyFramework(
+                env,
+                {"amf": primary.amf, "smf": primary.smf},
+                sync_period=5 * MS,
+            )
+            framework.start()
+            detail = {}
+
+            def scenario():
+                yield from runner.register_ue(ue, gnb_id=1)
+                framework.log_message(
+                    "reg", Direction.UPLINK, PacketKind.CONTROL
+                )
+                yield from framework.commit_event()
+                result = yield from runner.establish_session(ue)
+                detail.update(result.detail)
+                framework.log_message(
+                    "est", Direction.UPLINK, PacketKind.CONTROL
+                )
+                yield from framework.commit_event()
+                yield env.timeout(50 * MS)
+
+            env.process(scenario())
+            env.run(until=env.now + 1.0)
+            framework.stop()
+
+            survivor.amf.restore(framework.remote.state_of("amf"))
+            survivor.smf.restore(framework.remote.state_of("smf"))
+            survivor.ues[ue.supi] = ue
+            survivor.gnbs[1].connect(ue)
+            sm = survivor.smf.context_for(ue.supi, 1)
+            establishment = build_session_establishment(
+                seid=sm.seid,
+                sequence=survivor.smf.next_sequence(),
+                ue_ip=sm.ue_ip,
+                upf_address=survivor.UPF_ADDRESS,
+                ul_teid=sm.ul_teid,
+                gnb_address=survivor.gnbs[1].address,
+                dl_teid=sm.dl_teid,
+            )
+            survivor.upf_c.handle(establishment)
+            survivor.dl_routes[sm.dl_teid] = (survivor.gnbs[1], ue)
+
+            before = len(ue.received)
+            survivor.inject_downlink(
+                Packet(
+                    direction=Direction.DOWNLINK,
+                    flow=FiveTuple(src_ip=1, dst_ip=detail["ue_ip"],
+                                   src_port=80, dst_port=4000),
+                    created_at=env.now,
+                )
+            )
+            env.run(until=env.now + 1 * MS)
+            assert len(ue.received) == before + 1
+        assert det.violations == [], det.report()
+
+
+class TestTraceReplay:
+    def _seeded_trace(self, tmp_path, name="trace.jsonl"):
+        with races.traced(record=True) as det:
+            session = _session()
+            with det.role("upf-u"):
+                session.report_pending = True
+            with det.role("upf-c"):
+                session.report_pending = False
+        assert det.violations
+        path = tmp_path / name
+        det.dump_trace(str(path), header={"test": "seeded"})
+        return path, det
+
+    def test_replay_reproduces_violations(self, tmp_path):
+        path, live = self._seeded_trace(tmp_path)
+        replayed = races.replay(races._load_trace(str(path)))
+        assert [v.kind for v in replayed.violations] == [
+            v.kind for v in live.violations
+        ]
+        [violation] = replayed.violations
+        assert violation.part == "report_pending"
+        assert violation.second.role == "upf-c"
+        assert "test_analysis_races.py" in violation.second.site
+
+    def test_begin_event_resets_between_runs(self, tmp_path):
+        """Two appended runs replay independently: recycled object ids
+        from the second run must not alias structures of the first."""
+        path, _live = self._seeded_trace(tmp_path)
+        with races.traced(record=True) as det:
+            session = _session()
+            with det.role("upf-u"):
+                session.report_pending = True
+        assert det.violations == []
+        det.dump_trace(str(path), header={"test": "clean"})
+        replayed = races.replay(races._load_trace(str(path)))
+        assert [v.kind for v in replayed.violations] == ["non-owner-write"]
+
+    def test_cli_exit_one_on_violations(self, tmp_path, capsys):
+        path, _ = self._seeded_trace(tmp_path)
+        assert races.main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "non-owner-write" in out
+        assert "access(es)" in out
+
+    def test_cli_exit_zero_on_clean_trace(self, tmp_path, capsys):
+        with races.traced(record=True) as det:
+            session = _session()
+            with det.role("upf-u"):
+                session.report_pending = True
+        path = tmp_path / "clean.jsonl"
+        det.dump_trace(str(path), header={"test": "clean"})
+        assert races.main([str(path)]) == 0
+
+    def test_cli_exit_two_on_missing_file(self, tmp_path, capsys):
+        assert races.main([str(tmp_path / "nope.jsonl")]) == 2
+
+    def test_cli_json_output(self, tmp_path, capsys):
+        path, _ = self._seeded_trace(tmp_path)
+        assert races.main(["--json", str(path)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["violations"][0]["kind"] == "non-owner-write"
+
+    def test_dump_requires_recording(self, tmp_path):
+        det = races.RaceDetector()
+        with pytest.raises(ValueError):
+            det.dump_trace(str(tmp_path / "x.jsonl"))

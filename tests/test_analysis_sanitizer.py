@@ -245,3 +245,71 @@ class TestModes:
         report = san.report()
         assert report.startswith("descriptor sanitizer: 2 violation(s)")
         assert report.count("double-enqueue") == 2
+
+
+class TestLeakReport:
+    def test_descriptor_left_in_ring_is_a_leak(self):
+        ring = Ring(4, name="rx")
+        descriptor = Descriptor(payload={"seq": 1})
+        with sanitized() as san:
+            ring.enqueue(descriptor)  # LEAK-SITE — never dequeued
+        [leak] = san.leaks()
+        assert leak.state == "in-ring"
+        assert leak.channel == "rx"
+        assert "test_analysis_sanitizer.py" in leak.send_site
+        leak_line = int(leak.send_site.rsplit(":", 1)[1])
+        assert "LEAK-SITE" in open(__file__).readlines()[leak_line - 1]
+        assert "leaked descriptor (in-ring)" in leak.report()
+        assert "never dequeued" in leak.report()
+
+    def test_message_never_delivered_is_a_leak(self):
+        env, bus = make_bus()
+        bus.register("amf", lambda message, b: None)
+        with sanitized() as san:
+            bus.send("ran", "amf", Payload(), name="Registration")
+            # env.run() never happens: the message stays in flight.
+        [leak] = san.leaks()
+        assert leak.state == "in-flight"
+        assert leak.channel == "ran -> amf"
+
+    def test_consumed_descriptors_are_not_leaks(self):
+        ring = Ring(4, name="rx")
+        env, bus = make_bus()
+        bus.register("amf", lambda message, b: None)
+        descriptor = Descriptor(payload={"seq": 1})
+        with sanitized() as san:
+            ring.enqueue(descriptor)
+            ring.dequeue()  # checked out: the consumer's responsibility
+            bus.send("ran", "amf", Payload(), name="Registration")
+            env.run()  # delivered
+        assert san.leaks() == []
+        assert san.leak_report() == (
+            "descriptor sanitizer: no leaked descriptors"
+        )
+
+    def test_cleared_and_released_are_not_leaks(self):
+        ring = Ring(4, name="rx")
+        first, second = Descriptor(payload={}), Descriptor(payload={})
+        with sanitized() as san:
+            ring.enqueue(first)
+            ring.clear()
+            ring.enqueue(second)
+            san.release(second)
+        assert san.leaks() == []
+
+    def test_leak_report_aggregates(self):
+        ring = Ring(4, name="rx")
+        with sanitized() as san:
+            for index in range(2):
+                ring.enqueue(Descriptor(payload={"i": index}))
+        report = san.leak_report()
+        assert report.startswith(
+            "descriptor sanitizer: 2 leaked descriptor(s)"
+        )
+        assert report.count("leaked descriptor (in-ring)") == 2
+
+    def test_suite_fixture_warns_on_leak(self, request):
+        """Under --sanitize the conftest fixture turns leaks into
+        warnings, not failures; without it this just documents the API."""
+        san = sanitizer.active() or sanitizer.DescriptorSanitizer()
+        assert san.leaks() == []

@@ -179,6 +179,7 @@ class TestScalability:
         per_ue = [row.control_messages / row.sessions for row in rows]
         assert per_ue[0] == per_ue[1]
 
+    @pytest.mark.no_race
     def test_classifier_ablation_shape(self):
         """The in-UPF version of Fig 11: PS flat, LL linear, with the
         paper's ~20x advantage at 500 rules/session."""
