@@ -1,0 +1,138 @@
+"""Record the UPF perf trajectory: ``python benchmarks/record_bench.py``.
+
+Runs the platform-micro benchmark under pytest-benchmark, distills the
+full (machine-noisy, megabyte-scale) pytest-benchmark JSON into the
+headline numbers, and appends one record to ``BENCH_upf.json`` — the
+committed perf trajectory.  Each record carries the git revision it was
+measured at, so the file answers "what did the flow-cache speedup look
+like at PR N" without spelunking CI artifacts.
+
+Options::
+
+    python benchmarks/record_bench.py            # append to BENCH_upf.json
+    python benchmarks/record_bench.py --fresh    # start the file over
+    python benchmarks/record_bench.py --output other.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
+                          "test_bench_platform_micro.py")
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_upf.json")
+
+
+def run_benchmarks() -> dict:
+    """One pytest-benchmark run; returns the parsed raw JSON."""
+    with tempfile.NamedTemporaryFile(
+        suffix=".json", delete=False, mode="w"
+    ) as handle:
+        raw_path = handle.name
+    try:
+        subprocess.run(
+            [
+                sys.executable, "-m", "pytest", "--benchmark-only", "-q",
+                f"--benchmark-json={raw_path}", BENCH_FILE,
+            ],
+            check=True,
+            cwd=REPO_ROOT,
+            env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+        )
+        with open(raw_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    finally:
+        os.unlink(raw_path)
+
+
+def distill(raw: dict) -> dict:
+    """One trajectory record from a raw pytest-benchmark payload."""
+    benchmarks = []
+    for bench in raw.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        entry = {
+            "name": bench.get("name"),
+            "mean_us": round(stats.get("mean", 0.0) * 1e6, 4),
+            "stddev_us": round(stats.get("stddev", 0.0) * 1e6, 4),
+            "rounds": stats.get("rounds"),
+        }
+        extra = bench.get("extra_info") or {}
+        if extra:
+            entry["extra_info"] = {
+                key: round(value, 4) if isinstance(value, float) else value
+                for key, value in sorted(extra.items())
+            }
+        benchmarks.append(entry)
+    benchmarks.sort(key=lambda entry: entry["name"] or "")
+    return {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "benchmarks": benchmarks,
+    }
+
+
+def git_rev() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, check=True, cwd=REPO_ROOT,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def load_trajectory(path: str) -> dict:
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and isinstance(data.get("records"), list):
+            return data
+    return {"version": 1, "records": []}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append a platform-micro benchmark record to the "
+        "committed perf trajectory."
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--fresh", action="store_true",
+        help="discard existing records instead of appending",
+    )
+    args = parser.parse_args(argv)
+
+    record = distill(run_benchmarks())
+    trajectory = (
+        {"version": 1, "records": []}
+        if args.fresh
+        else load_trajectory(args.output)
+    )
+    trajectory["records"].append(record)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+
+    names = ", ".join(
+        entry["name"] for entry in record["benchmarks"] if entry["name"]
+    )
+    print(
+        f"recorded {len(record['benchmarks'])} benchmark(s) at "
+        f"{record['git_rev']} -> {args.output}: {names}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,6 +47,7 @@ __all__ = [
     "load_baseline",
     "write_baseline",
     "apply_baseline",
+    "github_annotation",
     "main",
 ]
 
@@ -170,6 +171,20 @@ def apply_baseline(
     return fresh, suppressed
 
 
+def github_annotation(finding: Finding) -> str:
+    """Render a finding as a GitHub Actions workflow command so CI
+    findings annotate the offending PR line."""
+    level = "error" if finding.severity == "error" else "warning"
+    # The message payload must be single-line; %0A encodes newlines.
+    message = f"{finding.code} {finding.message}".replace(
+        "%", "%25"
+    ).replace("\r", "").replace("\n", "%0A")
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.code}::{message}"
+    )
+
+
 def _select_rules(
     select: Optional[str], ignore: Optional[str]
 ) -> List[Rule]:
@@ -193,6 +208,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("paths", nargs="*", default=["src", "tests"])
     parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text"
+    )
     parser.add_argument("--select", metavar="CODES")
     parser.add_argument("--ignore", metavar="CODES")
     parser.add_argument("--list-rules", action="store_true")
@@ -233,6 +251,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.as_json:
         print(json.dumps([f.to_dict() for f in findings], indent=2))
+    elif args.format == "github":
+        for finding in findings:
+            print(github_annotation(finding))
     else:
         for finding in findings:
             print(finding.format())

@@ -1,0 +1,66 @@
+"""Whole-program static analysis over the L25GC reproduction.
+
+Layers (each importable on its own):
+
+* :mod:`.symbols` — project-wide symbol table: modules, classes
+  (with MRO), functions, import bindings, annotation-driven types.
+* :mod:`.callgraph` — call graph resolved through the symbol table;
+  virtual calls fan out to overrides, unresolvable calls become
+  explicit *unknown edges*.
+* :mod:`.summaries` — per-function CFG summaries (allocations, yields,
+  shared reads/writes, epoch bumps) and the path-sensitive
+  interprocedural epoch-bump dataflow.
+* :mod:`.checks` — the four semantic checks W001–W004 producing
+  :class:`~repro.analysis.rules.Finding` objects with call-chain
+  evidence.
+
+Nothing in here is imported by runtime code: the per-packet path pays
+zero import-time or runtime cost for the analyzer's existence.
+"""
+
+from .callgraph import CallEdge, CallGraph, UnknownEdge, build_call_graph
+from .checks import (
+    DEFAULT_PACKET_ENTRIES,
+    Budget,
+    ProgramFinding,
+    ProgramReport,
+    analyze_program,
+)
+from .summaries import (
+    AllocationSite,
+    FunctionSummary,
+    MutationSite,
+    analyze_epoch_flow,
+    summarize,
+)
+from .symbols import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SymbolTable,
+    build_symbol_table,
+    module_name_for,
+)
+
+__all__ = [
+    "AllocationSite",
+    "Budget",
+    "CallEdge",
+    "CallGraph",
+    "ClassInfo",
+    "DEFAULT_PACKET_ENTRIES",
+    "FunctionInfo",
+    "FunctionSummary",
+    "ModuleInfo",
+    "MutationSite",
+    "ProgramFinding",
+    "ProgramReport",
+    "SymbolTable",
+    "UnknownEdge",
+    "analyze_epoch_flow",
+    "analyze_program",
+    "build_call_graph",
+    "build_symbol_table",
+    "module_name_for",
+    "summarize",
+]

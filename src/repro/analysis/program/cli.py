@@ -1,0 +1,227 @@
+"""CLI for the whole-program analysis: ``python -m repro.analysis.program``.
+
+Typical CI invocation::
+
+    python -m repro.analysis.program src/repro \\
+        --budget analysis-budget.json \\
+        --baseline analysis-program-baseline.json --json
+
+Options
+-------
+``--json``
+    Emit the full report (findings with call chains, hot-path map,
+    stats) as JSON.
+``--format github``
+    Print findings as GitHub Actions workflow annotations so CI
+    findings land on PR lines.
+``--budget PATH``
+    Per-function allocation budget file for W001.  A budget entry whose
+    function no longer exists is *stale* and fails the run (exit 2) —
+    budgets cannot quietly outlive refactors.
+``--baseline / --write-baseline``
+    Same machinery (and key stability guarantees) as
+    ``repro.analysis.lint``.
+
+When ``--budget`` / ``--baseline`` are not given and the committed
+``analysis-budget.json`` / ``analysis-program-baseline.json`` exist in
+the working directory, they are used automatically, so a bare
+``python -m repro.analysis.program src/repro`` from the repo root
+checks against the committed state.
+``--select / --ignore``
+    Filter by check code (W001..W004).
+``--graph json|dot``
+    Dump the call graph and exit.  ``--graph-focus`` restricts the DOT
+    rendering to the subgraph reachable from the given entry points
+    (used to generate the UPF-U packet-path figure in the docs).
+``--entry QUALNAME``
+    Override the W001 entry points (repeatable); defaults to the UPF-U
+    per-packet entry points, or the budget file's ``entry_points``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from ..lint import (
+    apply_baseline,
+    github_annotation,
+    iter_python_files,
+    load_baseline,
+    write_baseline,
+)
+from .checks import (
+    DEFAULT_PACKET_ENTRIES,
+    Budget,
+    ProgramFinding,
+    ProgramReport,
+    analyze_program,
+)
+
+__all__ = ["main", "load_files"]
+
+_CHECK_CODES = ("W001", "W002", "W003", "W004")
+
+#: Committed config picked up from the working directory when the
+#: corresponding flag is not given.
+DEFAULT_BUDGET_FILE = "analysis-budget.json"
+DEFAULT_BASELINE_FILE = "analysis-program-baseline.json"
+
+
+def load_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """Read every python file under ``paths`` as (path, source)."""
+    files: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            files.append((path, handle.read()))
+    return files
+
+
+def _filter_codes(
+    findings: Sequence[ProgramFinding],
+    select: Optional[str],
+    ignore: Optional[str],
+) -> List[ProgramFinding]:
+    keep = set(_CHECK_CODES)
+    if select:
+        wanted = {code.strip().upper() for code in select.split(",")}
+        unknown = wanted - keep
+        if unknown:
+            raise SystemExit(
+                f"unknown check code(s): {', '.join(sorted(unknown))}"
+            )
+        keep = wanted
+    if ignore:
+        keep -= {code.strip().upper() for code in ignore.split(",")}
+    return [f for f in findings if f.code in keep]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.program",
+        description=(
+            "Whole-program analysis: call graph, hot-path cost budget, "
+            "interprocedural epoch/atomicity/layering checks."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"])
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text"
+    )
+    parser.add_argument("--budget", metavar="PATH")
+    parser.add_argument("--baseline", metavar="PATH")
+    parser.add_argument("--write-baseline", metavar="PATH", dest="write_to")
+    parser.add_argument("--select", metavar="CODES")
+    parser.add_argument("--ignore", metavar="CODES")
+    parser.add_argument("--graph", choices=("json", "dot"))
+    parser.add_argument(
+        "--graph-focus",
+        metavar="ENTRIES",
+        help="comma-separated entry qualnames to restrict --graph dot to",
+    )
+    parser.add_argument(
+        "--entry",
+        action="append",
+        metavar="QUALNAME",
+        help="override the W001 hot-path entry points (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        files = load_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    budget_path = args.budget
+    if budget_path is None and os.path.exists(DEFAULT_BUDGET_FILE):
+        budget_path = DEFAULT_BUDGET_FILE
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_FILE):
+        baseline_path = DEFAULT_BASELINE_FILE
+
+    budget = None
+    if budget_path:
+        try:
+            budget = Budget.load(budget_path)
+        except (FileNotFoundError, ValueError) as exc:
+            print(f"error: cannot load budget {budget_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+
+    report = analyze_program(files, budget=budget, entry_points=args.entry)
+
+    if report.stale_budget_entries:
+        for qualname in report.stale_budget_entries:
+            print(
+                f"error: stale budget entry: {qualname} no longer exists "
+                "(remove it from the budget file)",
+                file=sys.stderr,
+            )
+        return 2
+
+    if args.graph:
+        if args.graph == "json":
+            print(report.graph.to_json())
+        else:
+            focus = None
+            if args.graph_focus:
+                focus = [e.strip() for e in args.graph_focus.split(",")]
+            elif args.entry:
+                focus = list(args.entry)
+            stop = _default_stops(report)
+            print(
+                report.graph.to_dot(entries=focus, stop_modules=stop),
+                end="",
+            )
+        return 0
+
+    findings = _filter_codes(report.findings, args.select, args.ignore)
+
+    if args.write_to:
+        count = write_baseline(args.write_to, findings)
+        print(
+            f"wrote baseline {args.write_to}: {count} entr"
+            f"{'y' if count == 1 else 'ies'} "
+            f"({len(findings)} finding(s))"
+        )
+        return 0
+
+    suppressed = 0
+    if baseline_path:
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+
+    if args.as_json:
+        payload = report.to_dict()
+        payload["findings"] = [f.to_dict() for f in findings]
+        payload["suppressed"] = suppressed
+        print(json.dumps(payload, indent=2))
+    elif args.format == "github":
+        for finding in findings:
+            print(github_annotation(finding))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)")
+        if suppressed:
+            print(f"{suppressed} baselined finding(s) suppressed")
+    return 1 if findings else 0
+
+
+def _default_stops(report: ProgramReport) -> List[str]:
+    roots = {name.split(".")[0] for name in report.table.modules}
+    return [f"{root}.{sub}" for root in roots for sub in ("analysis", "obs")]
+
+
+if __name__ == "__main__":
+    sys.exit(main())

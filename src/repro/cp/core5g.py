@@ -27,10 +27,12 @@ from ..ran.gnb import DEFAULT_GNB_BUFFER_PACKETS, GNodeB
 from ..ran.ue import UserEquipment
 from ..sbi.messages import NFDiscoveryRequest, NFDiscoveryResponse, SBIMessage
 from ..sim.engine import Environment, Event
-from ..up.buffer import DEFAULT_UPF_BUFFER_PACKETS
-from ..up.session import SessionTable
-from ..up.upf_c import UPFControlPlane
-from ..up.upf_u import UPFUserPlane
+from ..up import (
+    DEFAULT_UPF_BUFFER_PACKETS,
+    SessionTable,
+    UPFControlPlane,
+    UPFUserPlane,
+)
 from .nfs import AMF, AUSF, NRF, PCF, SMF, UDM
 
 __all__ = ["SystemConfig", "FiveGCore"]

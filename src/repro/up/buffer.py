@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import List
 
-from ..analysis import races as _races
+from ..analysis import races as _races  # repro: noqa[W004] -- race-detector hooks, no-ops unless a detector is installed
 from ..net.packet import Packet
 
 __all__ = ["SmartBuffer", "DEFAULT_UPF_BUFFER_PACKETS"]

@@ -37,7 +37,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Hashable, Optional
 
-from ..analysis import races as _races
+from ..analysis import races as _races  # repro: noqa[W004] -- race-detector hooks, no-ops unless a detector is installed
 
 __all__ = [
     "DEFAULT_FLOW_CACHE_CAPACITY",

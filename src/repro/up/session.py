@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Type
 
-from ..analysis import races as _races
+from ..analysis import races as _races  # repro: noqa[W004] -- race-detector hooks, no-ops unless a detector is installed
 from ..classifier.base import Classifier
 from ..classifier.partition_sort import PartitionSortClassifier
 from ..net.packet import Direction, Packet
@@ -162,9 +162,13 @@ class UPFSession:
         self.epoch.bump()
 
     def remove_pdr(self, pdr_id: int) -> bool:
-        pdr = self.pdrs.pop(pdr_id, None)
-        if pdr is None:
+        # Check membership before mutating: the pop must be
+        # post-dominated by the epoch bump (W002), and popping a
+        # missing id would take the no-bump early return with the
+        # container already touched.
+        if pdr_id not in self.pdrs:
             return False
+        pdr = self.pdrs.pop(pdr_id)
         self.classifier.remove_by_id(pdr.match.rule_id)
         self._note_rule_write("pdrs", self.pdrs, f"remove_pdr({pdr_id})")
         self.epoch.bump()

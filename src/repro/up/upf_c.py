@@ -14,7 +14,7 @@ import itertools
 from dataclasses import replace
 from typing import Callable, List, Optional, Type
 
-from ..analysis import races as _races
+from ..analysis import races as _races  # repro: noqa[W004] -- race-detector hooks, no-ops unless a detector is installed
 from ..classifier.base import Classifier
 from ..classifier.partition_sort import PartitionSortClassifier
 from ..pfcp import ies as pfcp_ies

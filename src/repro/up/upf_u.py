@@ -20,13 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Callable, Dict, Optional
 
-from ..analysis import races as _races
+from ..analysis import races as _races  # repro: noqa[W004] -- race-detector hooks, no-ops unless a detector is installed
 from ..core.costs import DEFAULT_COSTS, CostModel
 from ..core.nf import NetworkFunction
 from ..core.pool import Descriptor
 from ..net.packet import Direction, Packet
-from ..obs import spans as _tracing
-from ..obs.metrics import MetricsRegistry
+from ..obs import spans as _tracing  # repro: noqa[W004] -- tracing is off-path: span emission is gated on tracer is None
+from ..obs.metrics import MetricsRegistry  # repro: noqa[W004] -- counters only; registry import has no per-packet cost
 from ..pfcp import ies as pfcp_ies
 from .flow_cache import DEFAULT_FLOW_CACHE_CAPACITY, FlowCache
 from .qos import QerEnforcer, UsageCounter

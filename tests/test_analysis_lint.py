@@ -669,3 +669,36 @@ class TestBaseline:
         """The committed baseline must keep the repo gate green."""
         assert main(["--baseline", "analysis-baseline.json",
                      "src", "tests"]) == 0
+
+
+class TestGithubFormat:
+    BAD = "import time\nt = time.time()\n"
+
+    def _bad_file(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text(self.BAD)
+        return bad
+
+    def test_findings_render_as_workflow_annotations(self, tmp_path, capsys):
+        bad = self._bad_file(tmp_path)
+        assert main(["--format", "github", str(bad)]) == 1
+        out = capsys.readouterr().out
+        line = out.strip().splitlines()[0]
+        assert line.startswith("::error file=")
+        assert f"file={bad}" in line
+        assert "line=2" in line
+        assert "title=R001::" in line
+
+    def test_annotation_escapes_newlines_and_percent(self):
+        from repro.analysis.lint import github_annotation
+        from repro.analysis.rules import Finding
+
+        finding = Finding(
+            path="src/x.py", line=3, col=7, code="R001",
+            severity="warning", message="50% broken\nsecond line",
+        )
+        rendered = github_annotation(finding)
+        assert rendered.startswith("::warning file=src/x.py,line=3,col=7")
+        assert "\n" not in rendered
+        assert "50%25 broken%0Asecond line" in rendered

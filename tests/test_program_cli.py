@@ -1,0 +1,192 @@
+"""CLI tests for ``python -m repro.analysis.program``."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis.program import cli
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+FIXTURE = {
+    "pkg/__init__.py": "",
+    "pkg/up/__init__.py": "",
+    "pkg/up/mod.py": """
+        class UPF:
+            def process(self, pkt):
+                return self._helper(pkt)
+
+            def _helper(self, pkt):
+                return [pkt]
+    """,
+    "pkg/sim/__init__.py": "",
+    "pkg/sim/engine.py": "from ..up import mod\n",
+}
+
+ENTRY = "pkg.up.mod.UPF.process"
+
+
+@pytest.fixture
+def fixture_dir(tmp_path, monkeypatch):
+    for relpath, source in sorted(FIXTURE.items()):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    # Keep the repo's committed default budget/baseline out of scope.
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def run_cli(args):
+    return cli.main(args)
+
+
+class TestFindingsAndFilters:
+    def test_findings_fail_the_run(self, fixture_dir, capsys):
+        code = run_cli(["pkg", "--entry", ENTRY])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "W001" in out and "W004" in out
+        assert "call chain:" in out
+
+    def test_select_restricts_codes(self, fixture_dir, capsys):
+        code = run_cli(["pkg", "--entry", ENTRY, "--select", "W004"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "W004" in out and "W001" not in out
+
+    def test_ignore_drops_codes(self, fixture_dir, capsys):
+        code = run_cli(
+            ["pkg", "--entry", ENTRY, "--ignore", "W001,W004"]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+
+    def test_unknown_code_rejected(self, fixture_dir):
+        with pytest.raises(SystemExit, match="unknown check code"):
+            run_cli(["pkg", "--select", "R001"])
+
+
+class TestOutputs:
+    def test_json_report_carries_chains_and_stats(self, fixture_dir, capsys):
+        run_cli(["pkg", "--entry", ENTRY, "--json"])
+        data = json.loads(capsys.readouterr().out)
+        by_code = {f["code"]: f for f in data["findings"]}
+        assert set(by_code) == {"W001", "W004"}
+        assert by_code["W001"]["chain"] == [
+            "-> pkg.up.mod.UPF.process",
+            "-> pkg.up.mod.UPF._helper",
+        ]
+        assert data["stats"]["functions"] > 0
+        assert ENTRY in data["hot_path"]
+
+    def test_github_format_annotates_lines(self, fixture_dir, capsys):
+        run_cli(["pkg", "--entry", ENTRY, "--format", "github"])
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "title=W001::" in out
+        # Annotations are one line per finding, no chain spill.
+        assert all(
+            line.startswith("::error") for line in out.strip().splitlines()
+        )
+
+    def test_graph_json_dump(self, fixture_dir, capsys):
+        code = run_cli(["pkg", "--graph", "json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        pairs = {(e["caller"], e["callee"]) for e in data["edges"]}
+        assert ("pkg.up.mod.UPF.process", "pkg.up.mod.UPF._helper") in pairs
+
+    def test_graph_dot_focused_on_entries(self, fixture_dir, capsys):
+        code = run_cli(["pkg", "--graph", "dot", "--graph-focus", ENTRY])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("digraph callgraph {")
+        assert '"UPF.process" -> "UPF._helper"' in out
+
+
+class TestBaselineAndBudget:
+    def test_write_then_apply_baseline(self, fixture_dir, capsys):
+        assert run_cli(
+            ["pkg", "--entry", ENTRY, "--write-baseline", "base.json"]
+        ) == 0
+        capsys.readouterr()
+        code = run_cli(
+            ["pkg", "--entry", ENTRY, "--baseline", "base.json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 baselined finding(s) suppressed" in out
+
+    def test_budget_grants_intentional_allocations(self, fixture_dir, capsys):
+        (fixture_dir / "budget.json").write_text(json.dumps({
+            "version": 1,
+            "entry_points": [ENTRY],
+            "budgets": {
+                "pkg.up.mod.UPF._helper": {
+                    "allocations": 1, "reason": "fixture"
+                },
+            },
+        }))
+        code = run_cli(
+            ["pkg", "--budget", "budget.json", "--select", "W001"]
+        )
+        assert code == 0
+
+    def test_stale_budget_entry_fails_hard(self, fixture_dir, capsys):
+        (fixture_dir / "budget.json").write_text(json.dumps({
+            "version": 1,
+            "budgets": {
+                "pkg.up.mod.UPF.gone": {"allocations": 1, "reason": "x"},
+            },
+        }))
+        code = run_cli(["pkg", "--budget", "budget.json"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "stale budget entry" in err
+        assert "pkg.up.mod.UPF.gone" in err
+
+    def test_default_config_picked_up_from_cwd(self, fixture_dir, capsys):
+        (fixture_dir / cli.DEFAULT_BUDGET_FILE).write_text(json.dumps({
+            "version": 1,
+            "entry_points": [ENTRY],
+            "budgets": {
+                "pkg.up.mod.UPF._helper": {
+                    "allocations": 1, "reason": "fixture"
+                },
+            },
+        }))
+        code = run_cli(["pkg", "--select", "W001"])
+        assert code == 0
+
+
+class TestRepoIntegration:
+    def test_repo_tree_runs_clean_with_committed_config(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code = run_cli([os.path.join("src", "repro"), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["findings"] == []
+        assert data["suppressed"] == 1  # sim's baselined races import
+
+    def test_analyzer_is_not_imported_by_runtime_code(self):
+        # Acceptance: disabled, the analyzer adds zero import-time cost.
+        script = (
+            "import sys; import repro.up, repro.cp, repro.sim; "
+            "assert not any(m.startswith('repro.analysis.program') "
+            "for m in sys.modules), sorted(sys.modules)"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+        subprocess.run(
+            [sys.executable, "-c", script],
+            check=True,
+            env=env,
+            cwd=REPO_ROOT,
+        )
