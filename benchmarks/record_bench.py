@@ -7,11 +7,17 @@ committed perf trajectory.  Each record carries the git revision it was
 measured at, so the file answers "what did the flow-cache speedup look
 like at PR N" without spelunking CI artifacts.
 
+A second suite covers the scale-out axis: ``--suite shard`` runs the
+10k -> 1M session x 1/2/4/8 shard sweep from
+:mod:`repro.experiments.scalability` and appends to ``BENCH_shard.json``
+(``--reduced`` shrinks it to the CI smoke grid).
+
 Options::
 
     python benchmarks/record_bench.py            # append to BENCH_upf.json
     python benchmarks/record_bench.py --fresh    # start the file over
     python benchmarks/record_bench.py --output other.json
+    python benchmarks/record_bench.py --suite shard [--reduced]
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
                           "test_bench_platform_micro.py")
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_upf.json")
+SHARD_OUTPUT = os.path.join(REPO_ROOT, "BENCH_shard.json")
 
 
 def run_benchmarks() -> dict:
@@ -81,6 +88,39 @@ def distill(raw: dict) -> dict:
     }
 
 
+def run_shard_sweep(reduced: bool = False) -> dict:
+    """One shard-scalability record (see experiments.scalability)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from dataclasses import asdict
+
+    from repro.experiments.scalability import shard_scale_sweep
+
+    if reduced:
+        rows = shard_scale_sweep(
+            session_counts=(10_000,),
+            shard_counts=(1, 2, 4),
+            resident_per_shard=128,
+            packets=1000,
+            repeats=2,
+        )
+    else:
+        rows = shard_scale_sweep()
+    return {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "reduced": reduced,
+        "rows": [
+            {
+                key: round(value, 4) if isinstance(value, float) else value
+                for key, value in asdict(row).items()
+            }
+            for row in rows
+        ],
+    }
+
+
 def git_rev() -> str:
     try:
         out = subprocess.run(
@@ -106,30 +146,52 @@ def main(argv=None) -> int:
         description="Append a platform-micro benchmark record to the "
         "committed perf trajectory."
     )
-    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument("--output", default=None)
     parser.add_argument(
         "--fresh", action="store_true",
         help="discard existing records instead of appending",
     )
+    parser.add_argument(
+        "--suite", choices=("micro", "shard"), default="micro",
+        help="micro: pytest-benchmark platform suite; "
+        "shard: the sessions x shards scalability sweep",
+    )
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="shard suite only: the CI-sized grid "
+        "(10k sessions, 1/2/4 shards)",
+    )
     args = parser.parse_args(argv)
+    output = args.output or (
+        SHARD_OUTPUT if args.suite == "shard" else DEFAULT_OUTPUT
+    )
 
-    record = distill(run_benchmarks())
+    if args.suite == "shard":
+        record = run_shard_sweep(reduced=args.reduced)
+    else:
+        record = distill(run_benchmarks())
     trajectory = (
         {"version": 1, "records": []}
         if args.fresh
-        else load_trajectory(args.output)
+        else load_trajectory(output)
     )
     trajectory["records"].append(record)
-    with open(args.output, "w", encoding="utf-8") as handle:
+    with open(output, "w", encoding="utf-8") as handle:
         json.dump(trajectory, handle, indent=2)
         handle.write("\n")
 
+    if args.suite == "shard":
+        print(
+            f"recorded {len(record['rows'])} sweep row(s) at "
+            f"{record['git_rev']} -> {output}"
+        )
+        return 0
     names = ", ".join(
         entry["name"] for entry in record["benchmarks"] if entry["name"]
     )
     print(
         f"recorded {len(record['benchmarks'])} benchmark(s) at "
-        f"{record['git_rev']} -> {args.output}: {names}"
+        f"{record['git_rev']} -> {output}: {names}"
     )
     return 0
 

@@ -64,6 +64,9 @@ class SystemConfig:
     #: Memoize the UPF-U per-packet decision in an exact-match flow
     #: cache (off by default: the paper's numbers are uncached).
     flow_cache: bool = False
+    #: Independent UPF-U workers behind RSS dispatch (1 = the paper's
+    #: single pipeline; >1 activates :mod:`repro.deploy.sharded`).
+    upf_shards: int = 1
 
     @classmethod
     def free5gc(cls) -> "SystemConfig":
@@ -160,26 +163,57 @@ class FiveGCore:
             self.bus.register(nf.name, nf.handle_message)
             self.nrf.register_nf(nf.name.upper(), f"{nf.name}-inst-1", nf.name)
 
-        # User plane.
-        self.sessions = SessionTable()
-        self.upf_u = UPFUserPlane(
-            env,
-            self.sessions,
-            uplink_sink=self._uplink_to_dn,
-            downlink_sink=self._downlink_to_ran,
-            fast_path=self.config.fast_path,
-            session_scoped_buffering=self.config.session_scoped_buffering,
-            flow_cache=self.config.flow_cache,
-            costs=costs,
-        )
-        self.upf_c = UPFControlPlane(
-            self.sessions,
-            upf_u=self.upf_u,
-            address=self.UPF_ADDRESS,
-            classifier_class=self.config.classifier_class,
-            send_report=self._report_to_smf,
-            buffer_capacity=self.config.upf_buffer_packets,
-        )
+        # User plane: one pipeline, or N sharded workers behind RSS
+        # dispatch (function-level import: repro.deploy pulls this
+        # module back in through deploy.unit).
+        if self.config.upf_shards > 1:
+            from ..deploy.sharded import (
+                ShardedUPFControlPlane,
+                ShardedUserPlane,
+            )
+
+            self.upf_u = ShardedUserPlane(
+                env,
+                self.config.upf_shards,
+                uplink_sink=self._uplink_to_dn,
+                downlink_sink=self._downlink_to_ran,
+                fast_path=self.config.fast_path,
+                session_scoped_buffering=(
+                    self.config.session_scoped_buffering
+                ),
+                flow_cache=self.config.flow_cache,
+                costs=costs,
+            )
+            self.sessions = self.upf_u.sessions
+            self.upf_c = ShardedUPFControlPlane(
+                self.upf_u,
+                address=self.UPF_ADDRESS,
+                classifier_class=self.config.classifier_class,
+                send_report=self._report_to_smf,
+                buffer_capacity=self.config.upf_buffer_packets,
+            )
+        else:
+            self.sessions = SessionTable()
+            self.upf_u = UPFUserPlane(
+                env,
+                self.sessions,
+                uplink_sink=self._uplink_to_dn,
+                downlink_sink=self._downlink_to_ran,
+                fast_path=self.config.fast_path,
+                session_scoped_buffering=(
+                    self.config.session_scoped_buffering
+                ),
+                flow_cache=self.config.flow_cache,
+                costs=costs,
+            )
+            self.upf_c = UPFControlPlane(
+                self.sessions,
+                upf_u=self.upf_u,
+                address=self.UPF_ADDRESS,
+                classifier_class=self.config.classifier_class,
+                send_report=self._report_to_smf,
+                buffer_capacity=self.config.upf_buffer_packets,
+            )
         self.upf_u.notify_cp = self.upf_c.on_buffered_data
         self.upf_u.usage_report_sink = self.upf_c.on_usage_threshold
         self.bus.register("upf-c", lambda message, bus: None)
@@ -421,11 +455,16 @@ class FiveGCore:
         registry = MetricsRegistry()
         for metric in self.bus.metrics:
             registry.register(metric)
-        self.upf_u.stats.register_into(registry)
-        self.upf_u.rx_ring.register_into(registry)
-        self.upf_u.tx_ring.register_into(registry)
-        if self.upf_u.flow_cache is not None:
-            self.upf_u.flow_cache.register_into(registry)
+        if getattr(self.upf_u, "shards", None) is not None:
+            # Sharded facade: per-shard series plus aggregate gauges
+            # under the same names the single pipeline exports.
+            self.upf_u.register_into(registry)
+        else:
+            self.upf_u.stats.register_into(registry)
+            self.upf_u.rx_ring.register_into(registry)
+            self.upf_u.tx_ring.register_into(registry)
+            if self.upf_u.flow_cache is not None:
+                self.upf_u.flow_cache.register_into(registry)
         registry.gauge("sessions.active").set_function(
             lambda: len(self.sessions)
         )

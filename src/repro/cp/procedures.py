@@ -454,7 +454,7 @@ class ProcedureRunner:
         # transport-independent leg of session establishment.
         yield self._radio(costs.dn_authorization)
 
-        sm.ul_teid = core.upf_c.allocate_teid()
+        sm.ul_teid = core.upf_c.allocate_teid(ue_ip=sm.ue_ip)
         establishment = build_session_establishment(
             seid=sm.seid,
             sequence=core.smf.next_sequence(),

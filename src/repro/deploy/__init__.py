@@ -1,7 +1,20 @@
-"""Deployment: 5GC units, UE-aware LB, RSS, canary rollout, placement."""
+"""Deployment: 5GC units, UE-aware LB, RSS, sharding, canary, placement."""
 
 from .lb import UEAwareLoadBalancer, UnitHandle
-from .rss import DEFAULT_RSS_KEY, RSSIndirection, hash_five_tuple, toeplitz_hash
+from .rss import (
+    DEFAULT_RSS_KEY,
+    RSSIndirection,
+    hash_five_tuple,
+    toeplitz_hash,
+    toeplitz_hash32,
+)
+from .sharded import (
+    ShardedSessionTable,
+    ShardedUPFControlPlane,
+    ShardedUserPlane,
+    ShardRouter,
+    UPFShard,
+)
 from .slicing import NetworkSlice, SliceManager, SNssai
 from .unit import CanaryController, FiveGCUnit, NodeSpec, PlacementEngine
 
@@ -12,6 +25,12 @@ __all__ = [
     "RSSIndirection",
     "hash_five_tuple",
     "toeplitz_hash",
+    "toeplitz_hash32",
+    "ShardRouter",
+    "ShardedSessionTable",
+    "ShardedUserPlane",
+    "ShardedUPFControlPlane",
+    "UPFShard",
     "NetworkSlice",
     "SliceManager",
     "SNssai",

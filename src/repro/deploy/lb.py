@@ -41,6 +41,9 @@ class UEAwareLoadBalancer:
         self.affinity: Dict[str, int] = {}
         self.assignments = 0
         self.rejected = 0
+        #: Releases for SUPIs the LB never assigned (or already
+        #: released) — a no-op, but counted so the asymmetry is visible.
+        self.unknown_releases = 0
 
     def add_unit(self, unit: UnitHandle) -> None:
         if unit.unit_id in self.units:
@@ -79,12 +82,46 @@ class UEAwareLoadBalancer:
         self.assignments += 1
         return chosen
 
+    def pin(self, supi: str, unit_id: int) -> bool:
+        """Pin a UE to a specific unit (hash-decided placement).
+
+        The sharded deployment decides placement with the RSS /
+        consistent-hash layer; the LB still stamps the per-unit session
+        counters (its §4 resiliency-counter role).  Returns False —
+        counting a rejection — when the unit is missing, unhealthy, or
+        full.  Re-pinning to a new unit moves the session count.
+        """
+        unit = self.units.get(unit_id)
+        existing = self.affinity.get(supi)
+        if existing == unit_id:
+            return True
+        if unit is None or not unit.has_room:
+            self.rejected += 1
+            return False
+        if existing is not None:
+            old = self.units[existing]
+            old.sessions = max(0, old.sessions - 1)
+        unit.sessions += 1
+        self.affinity[supi] = unit_id
+        self.assignments += 1
+        return True
+
     def release(self, supi: str) -> None:
-        """Drop a UE's session (deregistration)."""
+        """Drop a UE's session (deregistration).
+
+        Unknown SUPIs are a counted no-op — ``assign``/``release`` are
+        asymmetric by design (failover re-homes drop affinity), so a
+        stray release must never raise.
+        """
         unit_id = self.affinity.pop(supi, None)
-        if unit_id is not None:
-            unit = self.units[unit_id]
-            unit.sessions = max(0, unit.sessions - 1)
+        if unit_id is None:
+            self.unknown_releases += 1
+            return
+        unit = self.units.get(unit_id)
+        if unit is None:
+            self.unknown_releases += 1
+            return
+        unit.sessions = max(0, unit.sessions - 1)
 
     def distribution(self) -> Dict[int, int]:
         """unit id -> session count (for balance assertions)."""

@@ -10,11 +10,16 @@ table mapping hash values to queues.
 from __future__ import annotations
 
 import struct
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..net.packet import FiveTuple, Packet
 
-__all__ = ["toeplitz_hash", "RSSIndirection", "DEFAULT_RSS_KEY"]
+__all__ = [
+    "toeplitz_hash",
+    "toeplitz_hash32",
+    "RSSIndirection",
+    "DEFAULT_RSS_KEY",
+]
 
 #: Microsoft's verification RSS key, the de-facto default.
 DEFAULT_RSS_KEY = bytes(
@@ -46,6 +51,65 @@ def toeplitz_hash(data: bytes, key: bytes = DEFAULT_RSS_KEY) -> int:
     return result
 
 
+def toeplitz_windows(key: bytes = DEFAULT_RSS_KEY, bits: int = 32) -> List[int]:
+    """The per-input-bit 32-bit key windows of the Toeplitz hash.
+
+    ``windows[p]`` is the hash of an input whose only set bit is bit
+    ``p`` (counting from the MSB of the input).  Toeplitz is linear
+    over GF(2) — ``hash(a ^ b) == hash(a) ^ hash(b)`` — so these
+    windows fully determine the hash; the sharded deployment uses them
+    to *steer* allocated TEIDs into a chosen indirection bucket.
+    """
+    key_int = int.from_bytes(key, "big")
+    window_shift = len(key) * 8 - 32
+    if window_shift < bits:
+        raise ValueError("RSS key too short for input")
+    return [
+        (key_int >> (window_shift - p)) & 0xFFFFFFFF for p in range(bits)
+    ]
+
+
+_BYTE_TABLE_CACHE: Dict[bytes, Tuple[List[int], ...]] = {}
+
+
+def _byte_tables(key: bytes) -> Tuple[List[int], ...]:
+    """4 x 256 precomputed tables: Toeplitz of each byte position."""
+    tables = _BYTE_TABLE_CACHE.get(key)
+    if tables is not None:
+        return tables
+    windows = toeplitz_windows(key, bits=32)
+    built: List[List[int]] = []
+    for byte_index in range(4):
+        table = []
+        for byte in range(256):
+            acc = 0
+            for bit in range(8):
+                if byte & (0x80 >> bit):
+                    acc ^= windows[byte_index * 8 + bit]
+            table.append(acc)
+        built.append(table)
+    tables = tuple(built)
+    _BYTE_TABLE_CACHE[key] = tables
+    return tables
+
+
+def toeplitz_hash32(value: int, key: bytes = DEFAULT_RSS_KEY) -> int:
+    """Toeplitz hash of one 32-bit big-endian word (TEID or IPv4).
+
+    Equivalent to ``toeplitz_hash(struct.pack("!I", value), key)`` but
+    via four byte-table lookups — the form that survives a 1M-session
+    sweep.  The sharded dispatcher hashes the UL TEID and the DL UE IP
+    through this.
+    """
+    t0, t1, t2, t3 = _byte_tables(key)
+    return (
+        t0[(value >> 24) & 0xFF]
+        ^ t1[(value >> 16) & 0xFF]
+        ^ t2[(value >> 8) & 0xFF]
+        ^ t3[value & 0xFF]
+    )
+
+
 def hash_five_tuple(flow: FiveTuple, key: bytes = DEFAULT_RSS_KEY) -> int:
     """RSS input for TCP/UDP over IPv4: src ip, dst ip, src/dst port."""
     data = struct.pack(
@@ -73,6 +137,12 @@ class RSSIndirection:
     def queue_for(self, flow: FiveTuple, key: bytes = DEFAULT_RSS_KEY) -> int:
         value = hash_five_tuple(flow, key)
         return self.table[value % len(self.table)]
+
+    def queue_for_word(
+        self, value: int, key: bytes = DEFAULT_RSS_KEY
+    ) -> int:
+        """Queue for a single 32-bit hash input (TEID / UE IP)."""
+        return self.table[toeplitz_hash32(value, key) % len(self.table)]
 
     def dispatch(self, packets: Sequence[Packet]) -> List[List[Packet]]:
         """Split a burst into per-queue lists (same flow -> same queue)."""

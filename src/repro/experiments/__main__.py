@@ -285,6 +285,27 @@ def run_scalability() -> None:
     )
 
 
+def run_shard_scale() -> None:
+    from .scalability import shard_scale_sweep
+
+    # CLI-sized sweep; the committed BENCH_shard.json carries the full
+    # 10k -> 1M grid (python benchmarks/record_bench.py --suite shard).
+    _print_rows(
+        "Scale-out: sessions x UPF-U shards (RSS dispatch)",
+        ["sessions", "shards", "p50_us", "p99_us", "Mpps/shard",
+         "Mpps_total", "skew", "hit_rate"],
+        [
+            (r.sessions, r.shards, r.p50_us, r.p99_us,
+             r.modeled_mpps_per_shard, r.modeled_mpps_total,
+             r.load_skew, r.flow_cache_hit_rate)
+            for r in shard_scale_sweep(
+                session_counts=(10_000, 125_000),
+                shard_counts=(1, 2, 4, 8),
+            )
+        ],
+    )
+
+
 EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig06": run_fig06,
     "fig07": run_fig07,
@@ -300,6 +321,7 @@ EXPERIMENTS: Dict[str, Callable[[], None]] = {
     "fig16": run_fig16,
     "fig17": run_fig17,
     "scalability": run_scalability,
+    "shard-scale": run_shard_scale,
 }
 
 

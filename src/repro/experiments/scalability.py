@@ -14,13 +14,20 @@ count actually bites in our reproduction:
   forwarding wall-time per packet with the session's PDR set held in a
   linear list vs. PartitionSort, as rules-per-session grows (the
   paper's challenge 3 trajectory from 2 rules to hundreds).
+* :func:`shard_scale_sweep` — the scale-out axis: 10k -> 1M+ sessions
+  across 1/2/4/8 UPF-U shards behind RSS dispatch, holding data-plane
+  p99 while reporting modeled Mpps/shard and load skew.  Session
+  *placement* is computed for the full population (that is what load
+  skew measures); a bounded resident sample per shard is actually
+  installed and carries the measured traffic, since a million live
+  session contexts would only measure the host's memory bandwidth.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Optional, Sequence, Type
 
 from ..classifier.base import Classifier
 from ..classifier.linear import LinearClassifier
@@ -41,6 +48,8 @@ __all__ = [
     "session_scale_sweep",
     "AblationRow",
     "classifier_ablation",
+    "ShardScaleRow",
+    "shard_scale_sweep",
 ]
 
 
@@ -160,6 +169,238 @@ def _session_with_rules(
         flow=FiveTuple(src_ip=1, dst_ip=ue_ip, src_port=80, dst_port=4000),
     )
     return upf_u, packet
+
+
+@dataclass
+class ShardScaleRow:
+    """One (session count, shard count) cell of the scale-out sweep."""
+
+    sessions: int
+    shards: int
+    #: Sessions actually installed and carrying the measured traffic.
+    resident_sessions: int
+    p50_us: float
+    p99_us: float
+    modeled_mpps_per_shard: float
+    #: Aggregate forwarding capacity, discounted by load skew (the
+    #: most-loaded shard saturates first).
+    modeled_mpps_total: float
+    #: max/mean sessions per shard over the *full* population.
+    load_skew: float
+    flow_cache_hit_rate: float
+
+
+_SHARD_UE_BASE = 0x0A000001
+_SHARD_DN_IP = 0x08080808
+_SHARD_GNB = 0xC0A80201
+
+
+def _resident_session(seid: int, ue_ip: int, ul_teid: int) -> UPFSession:
+    """A minimal forwarding session: UL + DL PDR, forward FARs."""
+    from ..classifier import Rule, exact
+    from ..up.rules import FAR, FARAction
+
+    session = UPFSession(
+        seid=seid,
+        ue_ip=ue_ip,
+        ul_teid=ul_teid,
+        classifier_class=LinearClassifier,
+        buffer_capacity=8,
+    )
+    session.install_pdr(
+        PDR(
+            pdr_id=1,
+            precedence=10,
+            match=Rule.from_fields(
+                priority=100, rule_id=1, far_id=1,
+                teid=exact(ul_teid),
+                source_iface=exact(pfcp_ies.ACCESS),
+            ),
+            far_id=1,
+            outer_header_removal=True,
+            source_interface=pfcp_ies.ACCESS,
+        )
+    )
+    session.install_pdr(
+        PDR(
+            pdr_id=2,
+            precedence=10,
+            match=Rule.from_fields(
+                priority=100, rule_id=2, far_id=2,
+                dst_ip=exact(ue_ip),
+                source_iface=exact(pfcp_ies.CORE),
+            ),
+            far_id=2,
+            source_interface=pfcp_ies.CORE,
+        )
+    )
+    session.install_far(
+        FAR(far_id=1, action=FARAction(destination_interface=pfcp_ies.CORE))
+    )
+    session.install_far(
+        FAR(
+            far_id=2,
+            action=FARAction(
+                destination_interface=pfcp_ies.ACCESS,
+                outer_teid=0x40000000 ^ ul_teid,
+                outer_address=_SHARD_GNB,
+            ),
+        )
+    )
+    return session
+
+
+def shard_scale_sweep(
+    session_counts: Sequence[int] = (10_000, 125_000, 500_000, 1_000_000),
+    shard_counts: Sequence[int] = (1, 2, 4, 8),
+    resident_per_shard: int = 256,
+    packets: int = 4000,
+    warmup: int = 500,
+    packet_size: int = 128,
+    repeats: int = 3,
+    costs: CostModel = DEFAULT_COSTS,
+) -> List[ShardScaleRow]:
+    """Sweep session count x shard count on the sharded user plane.
+
+    For each cell the *placement* of all N sessions is computed
+    through the real dispatch hash (TEID steering included), giving
+    the exact load skew; ``resident_per_shard`` of them per shard are
+    fully installed and carry ``packets`` measured packets (alternating
+    UL/DL, round-robin across sessions).  p50/p99 are wall-clock
+    per-packet pipeline times, best of ``repeats`` passes (the usual
+    defence against scheduler noise in percentile comparisons); Mpps
+    is modeled from the calibrated cost model blended with the
+    measured flow-cache hit rate.
+    """
+    from ..deploy.sharded import ShardedUserPlane
+    from ..obs.metrics import MetricsRegistry
+
+    rows: List[ShardScaleRow] = []
+    for shards in shard_counts:
+        for count in session_counts:
+            env = Environment()
+            plane = ShardedUserPlane(
+                env,
+                shards,
+                flow_cache=True,
+                fast_path=True,
+                costs=costs,
+            )
+            registry = MetricsRegistry()
+            plane.register_into(registry)
+            router = plane.router
+            # Place the full population; install a resident sample.
+            per_shard = [0] * shards
+            resident: List[UPFSession] = []
+            resident_count = [0] * shards
+            for index in range(count):
+                ue_ip = _SHARD_UE_BASE + index
+                shard = router.shard_for_ue_ip(ue_ip)
+                per_shard[shard] += 1
+                if resident_count[shard] < resident_per_shard:
+                    resident_count[shard] += 1
+                    ul_teid = router.steer_teid(ue_ip, 0x1000 + index)
+                    session = _resident_session(
+                        seid=index + 1, ue_ip=ue_ip, ul_teid=ul_teid
+                    )
+                    plane.sessions.add(session)
+                    resident.append(session)
+            mean = sum(per_shard) / shards
+            skew = max(per_shard) / mean if mean else 1.0
+            # Pre-built packet pool (construction outside the timing).
+            pool = []
+            for session in resident:
+                pool.append(
+                    Packet(
+                        direction=Direction.UPLINK,
+                        teid=session.ul_teid,
+                        flow=FiveTuple(
+                            src_ip=session.ue_ip, dst_ip=_SHARD_DN_IP,
+                            src_port=4000, dst_port=80,
+                        ),
+                        size=packet_size,
+                    )
+                )
+                pool.append(
+                    Packet(
+                        direction=Direction.DOWNLINK,
+                        flow=FiveTuple(
+                            src_ip=_SHARD_DN_IP, dst_ip=session.ue_ip,
+                            src_port=80, dst_port=4000,
+                        ),
+                        size=packet_size,
+                    )
+                )
+            process = plane.process
+            timer = time.perf_counter
+            # Warm every flow at least once so the measured phase sees
+            # the steady state (first-packet misses are setup, not
+            # per-packet behaviour); hit rate is post-warmup only.
+            cell_warmup = max(warmup, len(pool))
+            warm_hits = warm_probes = 0
+            best: Optional[List[float]] = None
+            for repetition in range(repeats):
+                latencies: List[float] = []
+                prelude = cell_warmup if repetition == 0 else 0
+                for iteration in range(prelude + packets):
+                    packet = pool[iteration % len(pool)]
+                    # The pipeline strips/sets the outer header in
+                    # place; restore the template before re-injecting.
+                    restore_teid = packet.teid
+                    begin = timer()
+                    process(packet)
+                    elapsed = timer() - begin
+                    packet.teid = restore_teid
+                    if repetition == 0 and iteration == prelude - 1:
+                        for shard in plane.shards:
+                            cache = shard.upf_u.flow_cache
+                            warm_hits += cache.hits
+                            warm_probes += cache.hits + cache.misses
+                    if iteration >= prelude:
+                        latencies.append(elapsed)
+                        plane.observe_latency(
+                            router.shard_for_packet(packet), elapsed
+                        )
+                latencies.sort()
+                tail = latencies[
+                    min(len(latencies) - 1, int(len(latencies) * 0.99))
+                ]
+                if best is None or tail < best[
+                    min(len(best) - 1, int(len(best) * 0.99))
+                ]:
+                    best = latencies
+            p50 = best[len(best) // 2]
+            p99 = best[min(len(best) - 1, int(len(best) * 0.99))]
+            hits = probes = 0
+            for shard in plane.shards:
+                cache = shard.upf_u.flow_cache
+                hits += cache.hits
+                probes += cache.hits + cache.misses
+            measured_probes = probes - warm_probes
+            hit_rate = (
+                (hits - warm_hits) / measured_probes
+                if measured_probes
+                else 0.0
+            )
+            per_packet = (
+                hit_rate * costs.cached_lookup(True, packet_size)
+                + (1.0 - hit_rate) * costs.per_packet_cost(True, packet_size)
+            )
+            per_shard_mpps = 1.0 / per_packet / 1e6
+            rows.append(
+                ShardScaleRow(
+                    sessions=count,
+                    shards=shards,
+                    resident_sessions=len(resident),
+                    p50_us=p50 * 1e6,
+                    p99_us=p99 * 1e6,
+                    modeled_mpps_per_shard=per_shard_mpps,
+                    modeled_mpps_total=per_shard_mpps * shards / skew,
+                    load_skew=skew,
+                    flow_cache_hit_rate=hit_rate,
+                )
+            )
+    return rows
 
 
 def classifier_ablation(

@@ -9,7 +9,7 @@ from .flow_cache import (
 )
 from .qos import QerEnforcer, TokenBucket, UsageCounter
 from .rules import FAR, FARAction, PDR, QER, far_from_ie, pdr_from_create_ie
-from .session import SessionTable, UPFSession, packet_key
+from .session import SessionTable, SessionTableView, UPFSession, packet_key
 from .upf_c import UPFControlPlane
 from .upf_u import ForwardingStats, UPFUserPlane
 
@@ -31,6 +31,7 @@ __all__ = [
     "far_from_ie",
     "pdr_from_create_ie",
     "SessionTable",
+    "SessionTableView",
     "UPFSession",
     "UPFControlPlane",
     "ForwardingStats",

@@ -15,6 +15,7 @@ extended to the cache layer.
 
 from __future__ import annotations
 
+import abc
 from typing import Callable, Dict, List, Optional, Type
 
 from ..analysis import races as _races  # repro: noqa[W004] -- race-detector hooks, no-ops unless a detector is installed
@@ -27,7 +28,7 @@ from .flow_cache import RuleEpoch
 from .qos import QerEnforcer, UsageCounter
 from .rules import FAR, PDR, QER
 
-__all__ = ["packet_key", "UPFSession", "SessionTable"]
+__all__ = ["packet_key", "UPFSession", "SessionTable", "SessionTableView"]
 
 
 def packet_key(packet: Packet):
@@ -259,7 +260,52 @@ class UPFSession:
         return packet_key(packet)
 
 
-class SessionTable:
+class SessionTableView(abc.ABC):
+    """What the UPF-C needs from a session store.
+
+    The single-UPF deployment hands the control plane a plain
+    :class:`SessionTable`; the sharded deployment hands it a router
+    that places each session on the shard its RSS bucket maps to.  The
+    PFCP handlers are written against this interface, so establish /
+    modify / delete are shard-agnostic.
+    """
+
+    @abc.abstractmethod
+    def add(self, session: UPFSession) -> None:
+        """Install a new session (duplicate keys raise ValueError)."""
+
+    @abc.abstractmethod
+    def remove(self, seid: int) -> Optional[UPFSession]:
+        """Remove and return a session, or None if unknown."""
+
+    @abc.abstractmethod
+    def by_seid(self, seid: int) -> Optional[UPFSession]:
+        """N4 lookup: PFCP messages address sessions by SEID."""
+
+    @abc.abstractmethod
+    def by_teid(self, teid: int) -> Optional[UPFSession]:
+        """UL lookup: which session owns this tunnel endpoint?"""
+
+    @abc.abstractmethod
+    def by_ue_ip(self, ue_ip: int) -> Optional[UPFSession]:
+        """DL lookup: which session owns this UE address?"""
+
+    @abc.abstractmethod
+    def __len__(self) -> int:
+        """Active session count."""
+
+    @abc.abstractmethod
+    def sessions(self) -> List[UPFSession]:
+        """All active sessions (snapshot list)."""
+
+    @abc.abstractmethod
+    def add_removal_listener(
+        self, listener: Callable[[UPFSession], None]
+    ) -> None:
+        """Register a callback invoked with each removed session."""
+
+
+class SessionTable(SessionTableView):
     """The UPF's dual hash tables: TEID -> session, UE IP -> session.
 
     The table owns the shared rule-mutation :attr:`epoch` consulted by

@@ -32,7 +32,7 @@ from ..pfcp.messages import (
 )
 from .qos import QerEnforcer, TokenBucket, UsageCounter
 from .rules import far_from_ie, pdr_from_create_ie
-from .session import SessionTable, UPFSession
+from .session import SessionTableView, UPFSession
 from .upf_u import UPFUserPlane
 
 __all__ = ["UPFControlPlane"]
@@ -60,7 +60,7 @@ class UPFControlPlane:
 
     def __init__(
         self,
-        sessions: SessionTable,
+        sessions: SessionTableView,
         upf_u: Optional[UPFUserPlane] = None,
         address: int = 0xC0A80102,
         classifier_class: Type[Classifier] = PartitionSortClassifier,
@@ -78,8 +78,14 @@ class UPFControlPlane:
         self.messages_handled = 0
 
     # ------------------------------------------------------------------
-    def allocate_teid(self) -> int:
-        """A node-unique uplink/forwarding TEID."""
+    def allocate_teid(self, ue_ip: int = 0) -> int:
+        """A node-unique uplink/forwarding TEID.
+
+        ``ue_ip`` is the session's DL hash key, when known.  The base
+        implementation ignores it; the sharded UPF-C overrides this to
+        steer the TEID into the same RSS bucket as the UE IP so a
+        session's UL and DL traffic land on the same shard.
+        """
         return next(self._teid_counter)
 
     # ------------------------------------------------------------------
@@ -111,7 +117,15 @@ class UPFControlPlane:
     ) -> SessionEstablishmentResponse:
         creates = message.find_all(pfcp_ies.CreatePdrIE)
         fars = message.find_all(pfcp_ies.CreateFarIE)
+        # Pre-scan the UE IP: a CHOOSE F-TEID allocation needs the DL
+        # hash key up front (shard steering), and the UE IP IE may
+        # arrive in a later Create PDR than the F-TEID.
         ue_ip = 0
+        for create in creates:
+            pdi = create.child(pfcp_ies.PdiIE)
+            ue_ip_ie = pdi.child(pfcp_ies.UeIpAddressIE) if pdi else None
+            if ue_ip_ie is not None:
+                ue_ip = ue_ip_ie.address
         ul_teid = 0
         allocated: List[pfcp_ies.IE] = []
         pdrs = []
@@ -121,7 +135,7 @@ class UPFControlPlane:
             fteid = pdi.child(pfcp_ies.FTeidIE) if pdi else None
             if fteid is not None:
                 if fteid.choose:
-                    teid = self.allocate_teid()
+                    teid = self.allocate_teid(ue_ip=ue_ip)
                     # Swap in the allocated endpoint (IEs are frozen)
                     # and re-decode the PDR with it.
                     fteid = replace(fteid, teid=teid, choose=False)
@@ -133,9 +147,6 @@ class UPFControlPlane:
                         pfcp_ies.FTeidIE(teid=teid, address=self.address)
                     )
                 ul_teid = fteid.teid
-            ue_ip_ie = pdi.child(pfcp_ies.UeIpAddressIE) if pdi else None
-            if ue_ip_ie is not None:
-                ue_ip = ue_ip_ie.address
             pdrs.append(pdr)
         session = UPFSession(
             seid=message.seid,
@@ -179,7 +190,8 @@ class UPFControlPlane:
             if fteid.choose:
                 response_ies.append(
                     pfcp_ies.FTeidIE(
-                        teid=self.allocate_teid(), address=self.address
+                        teid=self.allocate_teid(ue_ip=session.ue_ip),
+                        address=self.address,
                     )
                 )
         released = 0

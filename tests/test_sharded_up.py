@@ -1,0 +1,873 @@
+"""Sharded multi-UPF scale-out: router, dispatch, failover, PFCP.
+
+The invariant that matters: **a sharded user plane is observationally
+identical to the single UPF-U** — same per-packet outcomes, same
+aggregate ForwardingStats, same URR accounting — under any
+interleaving of packets and rule mutations, because sharding only
+partitions the key space.  The property test replays randomized
+interleavings against three stacks (sharded/cache-on, plain/cache-on,
+plain/cache-off); the unit tests pin down the steering algebra, the
+consistent-hash remap, and the failure/rebalance path individually.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import races
+from repro.classifier import LinearClassifier, Rule, exact
+from repro.deploy.lb import UEAwareLoadBalancer, UnitHandle
+from repro.deploy.rss import DEFAULT_RSS_KEY, toeplitz_hash32
+from repro.deploy.sharded import (
+    ShardRouter,
+    ShardedSessionTable,
+    ShardedUPFControlPlane,
+    ShardedUserPlane,
+)
+from repro.net import Direction, FiveTuple, Packet
+from repro.obs.metrics import MetricsRegistry
+from repro.pfcp import ies as pfcp_ies
+from repro.pfcp.builder import (
+    build_buffering_update,
+    build_session_establishment,
+)
+from repro.pfcp.messages import SessionDeletionRequest
+from repro.sim import Environment
+from repro.up import (
+    FAR,
+    FARAction,
+    PDR,
+    SessionTable,
+    UPFSession,
+    UPFUserPlane,
+)
+
+GNB = 0xC0A80201
+DN_IP = 0x08080808
+UE_BASE = 0x0A3C0000
+
+#: Module-level router used only to precompute steered TEIDs, so the
+#: sharded and unsharded harnesses drive identical key material.
+_STEER = ShardRouter(4)
+
+
+def steered_teid(seid):
+    return _STEER.steer_teid(UE_BASE + seid, 0x100 + seid)
+
+
+# ----------------------------------------------------------------------
+# Shared builders (steered-TEID variants of the flow-cache fixtures)
+# ----------------------------------------------------------------------
+def make_session(seid, classifier_class=LinearClassifier, qer=False,
+                 urr=False, ul_teid=None):
+    """UL+DL PDRs and forward FARs, with a steerable UL TEID."""
+    from repro.up import QerEnforcer, TokenBucket, UsageCounter
+
+    ue_ip = UE_BASE + seid
+    if ul_teid is None:
+        ul_teid = steered_teid(seid)
+    session = UPFSession(
+        seid=seid,
+        ue_ip=ue_ip,
+        ul_teid=ul_teid,
+        classifier_class=classifier_class,
+    )
+    session.install_pdr(
+        PDR(
+            pdr_id=1,
+            precedence=10,
+            match=Rule.from_fields(
+                priority=100,
+                rule_id=1,
+                far_id=1,
+                teid=exact(ul_teid),
+                source_iface=exact(pfcp_ies.ACCESS),
+            ),
+            far_id=1,
+            qer_id=1 if qer else None,
+            urr_id=1 if urr else None,
+            outer_header_removal=True,
+            source_interface=pfcp_ies.ACCESS,
+        )
+    )
+    session.install_pdr(
+        PDR(
+            pdr_id=2,
+            precedence=10,
+            match=Rule.from_fields(
+                priority=100,
+                rule_id=2,
+                far_id=2,
+                dst_ip=exact(ue_ip),
+                source_iface=exact(pfcp_ies.CORE),
+            ),
+            far_id=2,
+            qer_id=1 if qer else None,
+            urr_id=1 if urr else None,
+            source_interface=pfcp_ies.CORE,
+        )
+    )
+    session.install_far(
+        FAR(far_id=1, action=FARAction(destination_interface=pfcp_ies.CORE))
+    )
+    session.install_far(
+        FAR(
+            far_id=2,
+            action=FARAction(
+                destination_interface=pfcp_ies.ACCESS,
+                outer_teid=0x500 + seid,
+                outer_address=GNB,
+            ),
+        )
+    )
+    if qer:
+        session.install_qer_enforcer(
+            QerEnforcer(
+                qer_id=1,
+                ul_bucket=TokenBucket(8000.0, burst_bytes=300),
+                dl_bucket=TokenBucket(8000.0, burst_bytes=300),
+            )
+        )
+    if urr:
+        session.install_usage_counter(
+            UsageCounter(urr_id=1, volume_threshold_bytes=256)
+        )
+    return session
+
+
+def ul_packet(seid, src_port=4000):
+    return Packet(
+        direction=Direction.UPLINK,
+        teid=steered_teid(seid),
+        flow=FiveTuple(
+            src_ip=UE_BASE + seid,
+            dst_ip=DN_IP,
+            src_port=src_port,
+            dst_port=80,
+        ),
+        size=100,
+    )
+
+
+def dl_packet(seid, src_port=80):
+    return Packet(
+        direction=Direction.DOWNLINK,
+        flow=FiveTuple(
+            src_ip=DN_IP,
+            dst_ip=UE_BASE + seid,
+            src_port=src_port,
+            dst_port=4000,
+        ),
+        size=100,
+    )
+
+
+def build_sharded(num_shards=4, **kwargs):
+    return ShardedUserPlane(Environment(), num_shards, **kwargs)
+
+
+# ----------------------------------------------------------------------
+# TEID steering: the GF(2) algebra
+# ----------------------------------------------------------------------
+class TestTeidSteering:
+    def test_steered_teid_colocates_with_ue_ip(self):
+        router = ShardRouter(4)
+        for seid in range(200):
+            ue_ip = UE_BASE + seid
+            teid = router.steer_teid(ue_ip, 0x1000 + seid)
+            assert router.bucket_of(teid) == router.bucket_of(ue_ip)
+            assert router.shard_for_teid(teid) == router.shard_for_ue_ip(
+                ue_ip
+            )
+
+    def test_corrections_confined_to_steering_bits(self):
+        """Low bits carry the counter: steering must not touch them."""
+        router = ShardRouter(4)
+        steering = router._steering
+        low_mask = (1 << (32 - steering.steer_bits)) - 1
+        assert steering.steer_bits <= steering.MAX_STEER_BITS
+        assert all(fix & low_mask == 0 for fix in steering.fix)
+
+    def test_steering_preserves_counter_uniqueness(self):
+        router = ShardRouter(8)
+        ue_ip = UE_BASE + 7
+        teids = {
+            router.steer_teid(ue_ip, 0x1000 + i) for i in range(2000)
+        }
+        assert len(teids) == 2000
+
+    def test_colocation_survives_remap(self):
+        """§4 + consistent hashing: UL/DL share a *bucket*, so any
+        bucket->shard remap moves them together."""
+        router = ShardRouter(4)
+        pairs = [
+            (UE_BASE + i, router.steer_teid(UE_BASE + i, 0x1000 + i))
+            for i in range(50)
+        ]
+        router.remove_shard(2)
+        router.add_shard(4)
+        for ue_ip, teid in pairs:
+            assert router.shard_for_teid(teid) == router.shard_for_ue_ip(
+                ue_ip
+            )
+
+
+# ----------------------------------------------------------------------
+# ShardRouter: consistent-hash-programmed indirection
+# ----------------------------------------------------------------------
+class TestShardRouter:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardRouter(0)
+        with pytest.raises(ValueError):
+            ShardRouter(2, table_size=100)
+
+    def test_table_covers_all_members(self):
+        router = ShardRouter(4)
+        assert set(router.table) == {0, 1, 2, 3}
+
+    def test_remove_last_shard_raises(self):
+        router = ShardRouter(1)
+        with pytest.raises(ValueError):
+            router.remove_shard(0)
+
+    def test_idempotent_membership_changes(self):
+        router = ShardRouter(2)
+        assert router.add_shard(0) == []       # already a member
+        assert router.remove_shard(9) == []    # never a member
+
+    def test_removal_moves_only_the_victims_buckets(self):
+        router = ShardRouter(4)
+        owned = [b for b, shard in enumerate(router.table) if shard == 2]
+        moved = router.remove_shard(2)
+        assert moved == owned
+        assert 2 not in router.table
+
+    def test_readmission_restores_the_same_table(self):
+        router = ShardRouter(4)
+        before = list(router.table)
+        removed = router.remove_shard(2)
+        restored = router.add_shard(2)
+        assert router.table == before
+        assert restored == removed  # the same buckets came back
+
+    def test_dispatch_hashes_teid_ul_and_ue_ip_dl(self):
+        router = ShardRouter(4)
+        teid = router.steer_teid(UE_BASE + 1, 0x2000)
+        ul = Packet(
+            direction=Direction.UPLINK,
+            teid=teid,
+            flow=FiveTuple(src_ip=UE_BASE + 1, dst_ip=DN_IP),
+        )
+        dl = Packet(
+            direction=Direction.DOWNLINK,
+            flow=FiveTuple(src_ip=DN_IP, dst_ip=UE_BASE + 1),
+        )
+        assert router.shard_for_packet(ul) == router.shard_for_teid(teid)
+        assert router.shard_for_packet(dl) == router.shard_for_ue_ip(
+            UE_BASE + 1
+        )
+        # Steering makes the two agree for one session's traffic.
+        assert router.shard_for_packet(ul) == router.shard_for_packet(dl)
+
+    def test_teidless_uplink_still_dispatches(self):
+        router = ShardRouter(4)
+        packet = Packet(
+            direction=Direction.UPLINK,
+            teid=None,
+            flow=FiveTuple(src_ip=1, dst_ip=2),
+        )
+        assert router.shard_for_packet(packet) == router.table[
+            router.bucket_of(0)
+        ]
+
+    def test_bucket_of_is_masked_toeplitz(self):
+        router = ShardRouter(2, table_size=64)
+        value = 0xDEADBEEF
+        assert router.bucket_of(value) == (
+            toeplitz_hash32(value, DEFAULT_RSS_KEY) & 63
+        )
+
+
+# ----------------------------------------------------------------------
+# ShardedSessionTable: the UPF-C's shard-aware view
+# ----------------------------------------------------------------------
+class TestShardedSessionTable:
+    def _view(self, num_shards=4, lb=None):
+        router = ShardRouter(num_shards)
+        tables = [SessionTable() for _ in range(num_shards)]
+        return router, tables, ShardedSessionTable(router, tables, lb=lb)
+
+    def test_add_places_on_the_ue_ip_shard(self):
+        router, tables, view = self._view()
+        session = make_session(1)
+        view.add(session)
+        shard = router.shard_for_ue_ip(session.ue_ip)
+        assert view.shard_of(1) == shard
+        assert tables[shard].by_seid(1) is session
+        assert len(view) == 1
+
+    def test_unsteered_teid_rejected(self):
+        router, _, view = self._view()
+        ue_ip = UE_BASE + 1
+        teid = 0x100
+        while router.shard_for_teid(teid) == router.shard_for_ue_ip(ue_ip):
+            teid += 1
+        with pytest.raises(ValueError, match="steer_teid"):
+            view.add(make_session(1, ul_teid=teid))
+
+    def test_lookups_route_by_key(self):
+        _, _, view = self._view()
+        for seid in (1, 2, 3):
+            view.add(make_session(seid))
+        for seid in (1, 2, 3):
+            session = view.by_seid(seid)
+            assert session is not None
+            assert view.by_teid(session.ul_teid) is session
+            assert view.by_ue_ip(session.ue_ip) is session
+        assert {s.seid for s in view.sessions()} == {1, 2, 3}
+
+    def test_remove_unknown_is_none(self):
+        _, _, view = self._view()
+        assert view.remove(99) is None
+        assert view.by_seid(99) is None
+
+    def test_rehome_moves_and_adopts_target_epoch(self):
+        router, tables, view = self._view()
+        session = make_session(1)
+        view.add(session)
+        source = view.shard_of(1)
+        target = (source + 1) % 4
+        assert view.rehome(1, target)
+        assert view.shard_of(1) == target
+        assert tables[source].by_seid(1) is None
+        assert tables[target].by_seid(1) is session
+        assert session.epoch is tables[target].epoch
+        # No-op moves report False.
+        assert not view.rehome(1, target)
+        assert not view.rehome(99, 0)
+
+    def test_removal_listeners_fire_on_every_shard(self):
+        _, _, view = self._view()
+        removed = []
+        view.add_removal_listener(lambda session: removed.append(session.seid))
+        for seid in (1, 2, 3, 4):
+            view.add(make_session(seid))
+        for seid in (1, 2, 3, 4):
+            view.remove(seid)
+        assert sorted(removed) == [1, 2, 3, 4]
+
+    def test_lb_counters_track_placement(self):
+        lb = UEAwareLoadBalancer()
+        for unit_id in range(4):
+            lb.add_unit(UnitHandle(unit_id=unit_id, capacity_sessions=100))
+        router, tables, view = self._view(lb=lb)
+        for seid in range(1, 9):
+            view.add(make_session(seid))
+        assert lb.distribution() == {
+            shard: len(table) for shard, table in enumerate(tables)
+        }
+        view.remove(1)
+        assert sum(lb.distribution().values()) == 7
+
+    def test_full_unit_rejects_placement(self):
+        lb = UEAwareLoadBalancer()
+        for unit_id in range(4):
+            lb.add_unit(UnitHandle(unit_id=unit_id, capacity_sessions=0))
+        _, _, view = self._view(lb=lb)
+        with pytest.raises(ValueError, match="rejected"):
+            view.add(make_session(1))
+        assert lb.rejected == 1
+        assert len(view) == 0
+
+
+# ----------------------------------------------------------------------
+# ShardedUserPlane: dispatch, aggregation, failure/rebalance
+# ----------------------------------------------------------------------
+class TestShardedUserPlane:
+    def test_dispatch_reaches_the_owning_shard(self):
+        up = build_sharded()
+        up.sessions.add(make_session(1))
+        shard = up.sessions.shard_of(1)
+        assert up.process(ul_packet(1)) == "forwarded-ul"
+        assert up.process(dl_packet(1)) == "forwarded-dl"
+        assert up.dispatched[shard] == 2
+        assert sum(up.dispatched) == 2
+        assert up.shards[shard].upf_u.stats.forwarded_ul == 1
+
+    def test_aggregate_stats_sum_the_shards(self):
+        up = build_sharded()
+        for seid in range(1, 9):
+            up.sessions.add(make_session(seid))
+        for seid in range(1, 9):
+            up.process(ul_packet(seid))
+            up.process(dl_packet(seid))
+        up.process(dl_packet(99))  # no session anywhere
+        assert up.stats.forwarded_ul == 8
+        assert up.stats.forwarded_dl == 8
+        assert up.stats.dropped_no_session == 1
+        assert up.stats.forwarded == sum(
+            shard.upf_u.stats.forwarded for shard in up.shards
+        )
+
+    def test_flow_cache_hit_rate_aggregates(self):
+        up = build_sharded()
+        up.sessions.add(make_session(1))
+        assert up.process(ul_packet(1)) == "forwarded-ul"  # fill
+        assert up.process(ul_packet(1)) == "forwarded-ul"  # hit
+        assert up.flow_cache_hit_rate == 0.5
+
+    def test_flush_session_routes_by_shard(self):
+        up = build_sharded()
+        session = make_session(1)
+        up.sessions.add(session)
+        session.update_far(
+            FAR(far_id=2, action=FARAction(forward=False, buffer=True))
+        )
+        assert up.process(dl_packet(1)) == "buffered"
+        session.update_far(FAR(far_id=2, action=FARAction(forward=True)))
+        assert up.flush_session(session) == 1
+        assert up.flush_session(make_session(42)) == 0  # never added
+
+    def test_load_skew_counts_healthy_shards(self):
+        up = build_sharded(2)
+        seid = 1
+        placed = 0
+        while placed < 4:  # four sessions on shard 0, none on shard 1
+            session = make_session(seid)
+            if up.router.shard_for_ue_ip(session.ue_ip) == 0:
+                up.sessions.add(session)
+                placed += 1
+            seid += 1
+        assert up.load_skew() == pytest.approx(2.0)
+
+    def test_mark_failed_rehomes_every_session(self):
+        up = build_sharded()
+        for seid in range(1, 41):
+            up.sessions.add(make_session(seid))
+        victim = up.sessions.shard_of(1)
+        stranded = len(up.shards[victim].table)
+        moved = up.mark_failed(victim)
+        assert moved == stranded
+        assert up.failovers == 1
+        assert len(up.shards[victim].table) == 0
+        assert victim not in up.router.table
+        # Every session is still reachable and carries traffic.
+        for seid in range(1, 41):
+            assert up.sessions.by_seid(seid) is not None
+            assert up.process(dl_packet(seid)) == "forwarded-dl"
+            assert up.process(ul_packet(seid)) == "forwarded-ul"
+
+    def test_mark_failed_purges_the_victims_flow_cache(self):
+        up = build_sharded()
+        for seid in range(1, 21):
+            up.sessions.add(make_session(seid))
+            up.process(ul_packet(seid))
+        victim = up.sessions.shard_of(1)
+        assert len(up.shards[victim].upf_u.flow_cache) > 0
+        up.mark_failed(victim)
+        assert len(up.shards[victim].upf_u.flow_cache) == 0
+
+    def test_mark_recovered_pulls_sessions_back(self):
+        up = build_sharded()
+        for seid in range(1, 41):
+            up.sessions.add(make_session(seid))
+        victim = up.sessions.shard_of(1)
+        up.mark_failed(victim)
+        moved_back = up.mark_recovered(victim)
+        assert moved_back > 0
+        assert len(up.shards[victim].table) == moved_back
+        assert up.sessions.shard_of(1) == victim
+        assert up.process(ul_packet(1)) == "forwarded-ul"
+
+    def test_rebalance_is_race_clean(self):
+        """Rebalance is membership writing — it must run as UPF-C."""
+        env = Environment()
+        with races.traced(env=env) as detector:
+            up = ShardedUserPlane(env, 4)
+            with detector.role("upf-c"):
+                for seid in range(1, 21):
+                    up.sessions.add(make_session(seid))
+            victim = up.sessions.shard_of(1)
+            up.mark_failed(victim)
+            for seid in range(1, 21):
+                up.process(dl_packet(seid))
+        assert detector.violations == [], detector.report()
+
+    def test_register_into_exports_per_shard_series(self):
+        up = build_sharded(2)
+        registry = MetricsRegistry()
+        up.register_into(registry)
+        for seid in range(1, 9):
+            up.sessions.add(make_session(seid))
+            up.process(ul_packet(seid))
+            up.process(ul_packet(seid))
+        per_shard_sessions = [
+            registry.gauge(f"sessions{{shard={i}}}").value for i in (0, 1)
+        ]
+        assert sum(per_shard_sessions) == 8
+        assert sum(
+            registry.gauge(f"dispatched{{shard={i}}}").value for i in (0, 1)
+        ) == 16
+        assert registry.gauge("upf_u.forwarded").value == 16
+        assert registry.gauge("upf_u.forwarded_ul").value == 16
+        assert registry.gauge("upf_u.dropped").value == 0
+        assert registry.gauge("shard.count").value == 2
+        assert registry.gauge("shard.load_skew").value >= 1.0
+        assert registry.gauge("flow_cache.hit_rate").value == 0.5
+        hits = sum(
+            registry.gauge(f"flow_cache_hits{{shard={i}}}").value
+            for i in (0, 1)
+        )
+        assert hits == 8
+
+    def test_observe_latency_feeds_the_shard_histogram(self):
+        up = build_sharded(2)
+        registry = MetricsRegistry()
+        up.observe_latency(0, 1.0)  # before registration: dropped
+        up.register_into(registry)
+        for value in (1e-6, 2e-6, 3e-6):
+            up.observe_latency(1, value)
+        histogram = registry.histogram("upf_u.latency_s{shard=1}")
+        assert histogram.count == 3
+        assert histogram.p99() == pytest.approx(3e-6, rel=0.25)
+        assert registry.histogram("upf_u.latency_s{shard=0}").count == 0
+
+
+# ----------------------------------------------------------------------
+# ShardedUPFControlPlane: the N4 endpoint
+# ----------------------------------------------------------------------
+class TestShardedControlPlane:
+    def _cp(self, num_shards=4):
+        up = build_sharded(num_shards)
+        return up, ShardedUPFControlPlane(up)
+
+    def _establish(self, cp, seid, sequence=1):
+        ue_ip = UE_BASE + seid
+        ul_teid = cp.allocate_teid(ue_ip=ue_ip)
+        response = cp.handle(
+            build_session_establishment(
+                seid=seid,
+                sequence=sequence,
+                ue_ip=ue_ip,
+                upf_address=cp.address,
+                ul_teid=ul_teid,
+                gnb_address=GNB,
+                dl_teid=0x500 + seid,
+            )
+        )
+        assert response.find(pfcp_ies.CauseIE).cause == (
+            pfcp_ies.CAUSE_ACCEPTED
+        )
+        return ul_teid
+
+    def test_establish_places_colocated_session(self):
+        up, cp = self._cp()
+        ul_teid = self._establish(cp, seid=1)
+        session = up.sessions.by_seid(1)
+        assert session is not None and session.ul_teid == ul_teid
+        assert up.router.shard_for_teid(ul_teid) == (
+            up.router.shard_for_ue_ip(session.ue_ip)
+        )
+        # The established session carries traffic through dispatch.
+        packet = ul_packet(1)
+        packet.teid = ul_teid
+        assert up.process(packet) == "forwarded-ul"
+        assert up.process(dl_packet(1)) == "forwarded-dl"
+
+    def test_modification_choose_fteid_is_steered(self):
+        """Handover prep (§3.3): the new F-TEID must stay on-shard."""
+        up, cp = self._cp()
+        self._establish(cp, seid=1)
+        session = up.sessions.by_seid(1)
+        response = cp.handle(
+            build_buffering_update(
+                seid=1,
+                sequence=2,
+                choose_new_teid=True,
+                upf_address=cp.address,
+            )
+        )
+        fteid = response.find(pfcp_ies.FTeidIE)
+        assert fteid is not None and not fteid.choose
+        assert up.router.shard_for_teid(fteid.teid) == (
+            up.router.shard_for_ue_ip(session.ue_ip)
+        )
+
+    def test_deletion_releases_the_shard(self):
+        up, cp = self._cp()
+        self._establish(cp, seid=1)
+        assert len(up.sessions) == 1
+        assert sum(up.lb.distribution().values()) == 1
+        cp.handle(SessionDeletionRequest(seid=1, sequence=3))
+        assert len(up.sessions) == 0
+        assert up.sessions.by_seid(1) is None
+        assert sum(up.lb.distribution().values()) == 0
+
+    def test_establishments_spread_over_shards(self):
+        up, cp = self._cp()
+        for seid in range(1, 33):
+            self._establish(cp, seid=seid, sequence=seid)
+        occupied = [shard for shard in up.shards if len(shard.table)]
+        assert len(occupied) >= 2  # hash placement actually spreads
+        assert len(up.sessions) == 32
+
+
+# ----------------------------------------------------------------------
+# Full system: FiveGCore(upf_shards=4), metrics, race cleanliness
+# ----------------------------------------------------------------------
+class TestFiveGCoreSharded:
+    def _core(self, env, shards=4):
+        from repro.cp import FiveGCore, SystemConfig
+
+        config = SystemConfig.l25gc()
+        config.upf_shards = shards
+        config.flow_cache = True
+        core = FiveGCore(env, config)
+        for gnb in core.gnbs.values():
+            gnb.radio_latency = 0.0
+        return core
+
+    def _attach(self, env, core, count=4):
+        from repro.cp import ProcedureRunner
+
+        runner = ProcedureRunner(core)
+        ues = [
+            core.add_ue(f"imsi-20893000007{index:04d}")
+            for index in range(count)
+        ]
+
+        def lifecycle():
+            for ue in ues:
+                yield from runner.register_ue(ue, gnb_id=1)
+                yield from runner.establish_session(ue)
+
+        env.process(lifecycle())
+        env.run()
+        return runner, ues
+
+    def test_sharded_core_delivers_end_to_end(self):
+        env = Environment()
+        core = self._core(env)
+        _, ues = self._attach(env, core, count=4)
+        for ue in ues:
+            sm = core.smf.context_for(ue.supi, 1)
+            for _ in range(5):
+                core.inject_downlink(
+                    Packet(
+                        direction=Direction.DOWNLINK,
+                        flow=FiveTuple(
+                            src_ip=DN_IP, dst_ip=sm.ue_ip,
+                            src_port=80, dst_port=4000,
+                        ),
+                        created_at=env.now,
+                    )
+                )
+        env.run()
+        assert all(len(ue.received) == 5 for ue in ues)
+        assert core.upf_u.stats.forwarded_dl == 20
+        # Every PFCP-established session is steered onto one shard.
+        for session in core.sessions.sessions():
+            assert core.upf_u.router.shard_for_teid(session.ul_teid) == (
+                core.upf_u.router.shard_for_ue_ip(session.ue_ip)
+            )
+
+    def test_metrics_registry_exports_shard_series(self):
+        env = Environment()
+        core = self._core(env, shards=2)
+        self._attach(env, core, count=4)
+        registry = core.metrics_registry()
+        assert registry.gauge("sessions.active").value == 4
+        assert registry.gauge("shard.count").value == 2
+        assert sum(
+            registry.gauge(f"sessions{{shard={i}}}").value for i in (0, 1)
+        ) == 4
+        assert registry.gauge("shard.load_skew").value >= 1.0
+
+    def test_sharded_attach_and_handover_race_clean(self):
+        """The ISSUE's acceptance scenario: attach + handover on the
+        sharded config under the PR 4 race detector."""
+        from repro.cp import ProcedureRunner
+
+        env = Environment()
+        with races.traced(env=env) as detector:
+            core = self._core(env)
+            runner = ProcedureRunner(core)
+            ue = core.add_ue("imsi-208930000080001")
+
+            def scenario():
+                yield from runner.register_ue(ue, gnb_id=1)
+                result = yield from runner.establish_session(ue)
+                for _ in range(5):
+                    core.inject_downlink(
+                        Packet(
+                            direction=Direction.DOWNLINK,
+                            flow=FiveTuple(
+                                src_ip=DN_IP,
+                                dst_ip=result.detail["ue_ip"],
+                                src_port=80,
+                                dst_port=4000,
+                            ),
+                            created_at=env.now,
+                        )
+                    )
+                yield from runner.handover(ue, target_gnb_id=2)
+
+            env.process(scenario())
+            env.run()
+        assert detector.violations == [], detector.report()
+        assert len(ue.received) == 5
+
+
+# ----------------------------------------------------------------------
+# Property test: sharded == unsharded
+# ----------------------------------------------------------------------
+SEIDS = (1, 2, 3)
+
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("ul"), st.sampled_from(SEIDS), st.integers(1, 3)),
+        st.tuples(st.just("dl"), st.sampled_from(SEIDS), st.integers(1, 3)),
+        st.tuples(st.just("add"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("del"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("buffer-far"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("forward-far"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("flush"), st.sampled_from(SEIDS), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+class _Stack:
+    """One user plane (sharded or plain) driven by the op sequence."""
+
+    def __init__(self, sharded, flow_cache):
+        if sharded:
+            self.upf = build_sharded(
+                4, flow_cache=flow_cache, flow_cache_capacity=8
+            )
+            self.view = self.upf.sessions
+        else:
+            table = SessionTable()
+            self.upf = UPFUserPlane(
+                Environment(),
+                table,
+                flow_cache=flow_cache,
+                flow_cache_capacity=8,
+            )
+            self.view = table
+        self.outcomes = []
+        self.usage = {}
+
+    def step(self, op, seid, variant):
+        session = self.view.by_seid(seid)
+        if op == "ul":
+            self.outcomes.append(
+                self.upf.process(ul_packet(seid, src_port=4000 + variant))
+            )
+        elif op == "dl":
+            self.outcomes.append(
+                self.upf.process(dl_packet(seid, src_port=80 + variant))
+            )
+        elif op == "add":
+            if session is None:
+                self.view.add(make_session(seid, qer=True, urr=True))
+        elif op == "del":
+            removed = self.view.remove(seid)
+            if removed is not None:
+                # URR totals must match even for departed sessions.
+                counter = removed.usage_counters[1]
+                self.usage[seid] = (
+                    self.usage.get(seid, (0, 0))[0] + counter.uplink_bytes,
+                    self.usage.get(seid, (0, 0))[1] + counter.downlink_bytes,
+                )
+        elif op == "buffer-far" and session is not None:
+            session.update_far(
+                FAR(
+                    far_id=2,
+                    action=FARAction(
+                        forward=False, buffer=True, notify_cp=True
+                    ),
+                )
+            )
+        elif op == "forward-far" and session is not None:
+            session.update_far(FAR(far_id=2, action=FARAction(forward=True)))
+        elif op == "flush" and session is not None:
+            self.upf.flush_session(session)
+
+    def usage_totals(self):
+        totals = dict(self.usage)
+        for session in self.view.sessions():
+            counter = session.usage_counters[1]
+            base = totals.get(session.seid, (0, 0))
+            totals[session.seid] = (
+                base[0] + counter.uplink_bytes,
+                base[1] + counter.downlink_bytes,
+            )
+        return totals
+
+
+@settings(max_examples=60, deadline=None)
+@given(_ops)
+def test_sharded_equals_unsharded(ops):
+    sharded = _Stack(sharded=True, flow_cache=True)
+    cached = _Stack(sharded=False, flow_cache=True)
+    plain = _Stack(sharded=False, flow_cache=False)
+    for op, seid, variant in ops:
+        for stack in (sharded, cached, plain):
+            stack.step(op, seid, variant)
+        # Partitioning the key space must not change a single
+        # forwarding decision, ever.
+        assert sharded.outcomes == cached.outcomes == plain.outcomes
+    assert sharded.upf.stats == cached.upf.stats == plain.upf.stats
+    assert sharded.usage_totals() == plain.usage_totals()
+
+
+@settings(max_examples=20, deadline=None)
+@given(_ops, st.sampled_from((0, 1, 2, 3)))
+def test_sharded_survives_mid_sequence_failover(ops, victim):
+    """Failing one shard mid-stream must preserve the equivalence for
+    every op after the rebalance (sessions moved, caches purged)."""
+    sharded = _Stack(sharded=True, flow_cache=True)
+    plain = _Stack(sharded=False, flow_cache=False)
+    half = len(ops) // 2
+    for op, seid, variant in ops[:half]:
+        sharded.step(op, seid, variant)
+        plain.step(op, seid, variant)
+    before = len(sharded.view)
+    sharded.upf.mark_failed(victim)
+    assert len(sharded.view) == before  # rebalance loses nothing
+    for op, seid, variant in ops[half:]:
+        sharded.step(op, seid, variant)
+        plain.step(op, seid, variant)
+        assert sharded.outcomes == plain.outcomes
+    assert sharded.upf.stats == plain.upf.stats
+
+
+# ----------------------------------------------------------------------
+# The scalability experiment (smoke; the full sweep is BENCH_shard.json)
+# ----------------------------------------------------------------------
+class TestShardScaleExperiment:
+    def test_sweep_produces_sane_rows(self):
+        from repro.experiments.scalability import shard_scale_sweep
+
+        rows = shard_scale_sweep(
+            session_counts=(2_000,),
+            shard_counts=(1, 2),
+            resident_per_shard=32,
+            packets=200,
+            warmup=50,
+            repeats=1,
+        )
+        assert [(r.sessions, r.shards) for r in rows] == [
+            (2_000, 1), (2_000, 2),
+        ]
+        for row in rows:
+            assert row.p50_us > 0 and row.p99_us >= row.p50_us
+            assert row.modeled_mpps_per_shard > 0
+            assert row.load_skew >= 1.0
+            assert 0.0 <= row.flow_cache_hit_rate <= 1.0
+            assert row.resident_sessions <= row.sessions
+        single, double = rows
+        assert double.modeled_mpps_total > single.modeled_mpps_total
