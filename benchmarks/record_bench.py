@@ -12,12 +12,18 @@ A second suite covers the scale-out axis: ``--suite shard`` runs the
 :mod:`repro.experiments.scalability` and appends to ``BENCH_shard.json``
 (``--reduced`` shrinks it to the CI smoke grid).
 
+A third covers the batching axis: ``--suite burst`` runs the measured
+burst-size sweep from :mod:`repro.experiments.burst` (per-packet cost
+at burst 1/4/8/16/32/64 on the cache-hit path) and appends to
+``BENCH_burst.json``.
+
 Options::
 
     python benchmarks/record_bench.py            # append to BENCH_upf.json
     python benchmarks/record_bench.py --fresh    # start the file over
     python benchmarks/record_bench.py --output other.json
     python benchmarks/record_bench.py --suite shard [--reduced]
+    python benchmarks/record_bench.py --suite burst [--reduced]
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
                           "test_bench_platform_micro.py")
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_upf.json")
 SHARD_OUTPUT = os.path.join(REPO_ROOT, "BENCH_shard.json")
+BURST_OUTPUT = os.path.join(REPO_ROOT, "BENCH_burst.json")
 
 
 def run_benchmarks() -> dict:
@@ -121,6 +128,33 @@ def run_shard_sweep(reduced: bool = False) -> dict:
     }
 
 
+def run_burst_sweep(reduced: bool = False) -> dict:
+    """One burst-size sweep record (see experiments.burst)."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from dataclasses import asdict
+
+    from repro.experiments.burst import burst_sweep
+
+    if reduced:
+        rows = burst_sweep(packets=16384, repeats=2)
+    else:
+        rows = burst_sweep(packets=131072, repeats=3)
+    return {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "reduced": reduced,
+        "rows": [
+            {
+                key: round(value, 4) if isinstance(value, float) else value
+                for key, value in asdict(row).items()
+            }
+            for row in rows
+        ],
+    }
+
+
 def git_rev() -> str:
     try:
         out = subprocess.run(
@@ -152,22 +186,25 @@ def main(argv=None) -> int:
         help="discard existing records instead of appending",
     )
     parser.add_argument(
-        "--suite", choices=("micro", "shard"), default="micro",
+        "--suite", choices=("micro", "shard", "burst"), default="micro",
         help="micro: pytest-benchmark platform suite; "
-        "shard: the sessions x shards scalability sweep",
+        "shard: the sessions x shards scalability sweep; "
+        "burst: the measured burst-size sweep",
     )
     parser.add_argument(
         "--reduced", action="store_true",
-        help="shard suite only: the CI-sized grid "
-        "(10k sessions, 1/2/4 shards)",
+        help="shard/burst suites: the CI-sized grid",
     )
     args = parser.parse_args(argv)
-    output = args.output or (
-        SHARD_OUTPUT if args.suite == "shard" else DEFAULT_OUTPUT
-    )
+    output = args.output or {
+        "shard": SHARD_OUTPUT,
+        "burst": BURST_OUTPUT,
+    }.get(args.suite, DEFAULT_OUTPUT)
 
     if args.suite == "shard":
         record = run_shard_sweep(reduced=args.reduced)
+    elif args.suite == "burst":
+        record = run_burst_sweep(reduced=args.reduced)
     else:
         record = distill(run_benchmarks())
     trajectory = (
@@ -180,7 +217,7 @@ def main(argv=None) -> int:
         json.dump(trajectory, handle, indent=2)
         handle.write("\n")
 
-    if args.suite == "shard":
+    if args.suite in ("shard", "burst"):
         print(
             f"recorded {len(record['rows'])} sweep row(s) at "
             f"{record['git_rev']} -> {output}"

@@ -52,10 +52,13 @@ __all__ = [
     "analyze_program",
 ]
 
-#: The UPF-U per-packet entry points (direct API + platform ring path).
+#: The UPF-U per-packet entry points (direct API + platform ring path,
+#: singleton and burst variants).
 DEFAULT_PACKET_ENTRIES = (
     "repro.up.upf_u.UPFUserPlane.process",
     "repro.up.upf_u.UPFUserPlane.handle",
+    "repro.up.upf_u.UPFUserPlane.process_burst",
+    "repro.up.upf_u.UPFUserPlane.handle_burst",
 )
 
 #: Instrumentation packages: calls into them are gated behind

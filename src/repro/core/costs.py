@@ -194,6 +194,18 @@ class CostModel:
     #: One probe of the exact-match flow cache: a single hash + tag
     #: compare over the cached decision, like OVS's EMC hit.
     flow_cache_probe: float = 0.006 * US
+    #: Fixed per-poll overhead of the DPDK burst path (ring doorbell,
+    #: descriptor prefetch, poll bookkeeping), amortized over the
+    #: packets of one burst.  The calibrated per-packet constants
+    #: already include this overhead divided by
+    #: :attr:`calibrated_burst_size`, matching the 32-packet bursts
+    #: the paper's numbers were measured at.
+    dpdk_burst_overhead: float = 0.12 * US
+    #: The kernel path has no burst lever: each packet pays the full
+    #: softirq/NAPI traversal regardless of batching upstream.
+    kernel_burst_overhead: float = 0.0
+    #: Burst size the per-packet constants were calibrated at.
+    calibrated_burst_size: int = 32
     #: One-way forwarding latency through the kernel UPF (interrupt
     #: coalescing, softirq scheduling) excluding queueing.  Two
     #: traversals give Table 1's 116 us base RTT.
@@ -337,6 +349,36 @@ class CostModel:
     ) -> float:
         """Max packets/second with every packet hitting the flow cache."""
         return cores / self.cached_lookup(fast_path, size)
+
+    def burst_per_packet_cost(
+        self, fast_path: bool, size: int, burst_size: int
+    ) -> float:
+        """CPU time per packet when the pipeline drains ``burst_size``
+        packets per poll.
+
+        The fixed per-poll overhead amortizes over the burst:
+        ``burst_size == calibrated_burst_size`` reproduces
+        :meth:`per_packet_cost` exactly (the calibration already bakes
+        that share in), smaller bursts pay a larger share per packet,
+        and burst 1 degenerates to one full poll overhead per packet.
+        The kernel path is burst-insensitive by construction.
+        """
+        if burst_size < 1:
+            raise ValueError(f"burst_size must be >= 1: {burst_size!r}")
+        overhead = (
+            self.dpdk_burst_overhead
+            if fast_path
+            else self.kernel_burst_overhead
+        )
+        return self.per_packet_cost(fast_path, size) + overhead * (
+            1.0 / burst_size - 1.0 / self.calibrated_burst_size
+        )
+
+    def burst_forwarding_rate_pps(
+        self, fast_path: bool, size: int, burst_size: int, cores: int = 1
+    ) -> float:
+        """Max packets/second at a given poll burst size."""
+        return cores / self.burst_per_packet_cost(fast_path, size, burst_size)
 
     def forward_latency(self, fast_path: bool, active_sessions: int = 1) -> float:
         """One-way forwarding latency through the UPF, sans queueing."""

@@ -54,6 +54,15 @@ class NetworkFunction:
         Max descriptors handled per polling iteration.
     """
 
+    #: When True the run loop hands each polled batch to
+    #: :meth:`handle_burst` in one shot (after a single timeout equal
+    #: to the summed per-descriptor processing time) instead of
+    #: interleaving a timeout + :meth:`handle` per descriptor.  Only
+    #: NFs whose batch handling is semantically equivalent to
+    #: descriptor-at-a-time handling should enable it (the UPF-U's
+    #: burst pipeline is property-tested for exactly that).
+    burst_mode = False
+
     def __init__(
         self,
         env: Environment,
@@ -136,6 +145,19 @@ class NetworkFunction:
         """Simulated CPU time to handle one descriptor."""
         return self.costs.dpdk_per_packet
 
+    def handle_burst(
+        self, descriptors: Iterable[Descriptor]
+    ) -> Iterable[Descriptor]:
+        """Process a polled batch in one shot (``burst_mode`` NFs only).
+
+        The default simply chains :meth:`handle`; burst-capable NFs
+        (the UPF-U) override it with a genuinely amortized pipeline.
+        """
+        outputs = []
+        for descriptor in descriptors:
+            outputs.extend(self.handle(descriptor))
+        return outputs
+
     # ------------------------------------------------------------------
     # Descriptor I/O helpers
     # ------------------------------------------------------------------
@@ -177,6 +199,30 @@ class NetworkFunction:
             batch = self.rx_ring.dequeue_burst(self.burst)
             if not batch:
                 yield self.env.timeout(costs.poll_interval)
+                continue
+            if (
+                self.burst_mode
+                and len(batch) > 1
+                and _tracing.active() is None
+            ):
+                # Amortized path: one timeout covering the whole batch
+                # (identical total to the per-descriptor sum), then the
+                # batch is handled atomically — no yields inside, so
+                # the burst pipeline sees a single simulation instant.
+                # Tracing falls back to the classic path below for
+                # span-per-descriptor fidelity.
+                work = 0.0
+                for descriptor in batch:
+                    work += self.processing_time(descriptor)
+                if work > 0:
+                    yield self.env.timeout(work)
+                if self.status in (NFStatus.STOPPED, NFStatus.FAILED):
+                    for descriptor in batch:
+                        descriptor.free()
+                    continue
+                for out in self.handle_burst(batch):
+                    self._tx(out)
+                self.handled += len(batch)
                 continue
             for descriptor in batch:
                 tracer = _tracing.active()

@@ -193,8 +193,15 @@ class Ring:
         return count
 
     def dequeue_burst(self, max_count: int) -> List[Any]:
-        """Pop up to ``max_count`` descriptors (possibly fewer)."""
-        count = min(max_count, len(self))
+        """Pop up to ``max_count`` descriptors (possibly fewer).
+
+        Stats-equivalent to ``count`` singleton :meth:`dequeue` calls:
+        ``dequeued`` advances by exactly the number of descriptors
+        returned, and the sanitizer/tracer see each descriptor
+        individually.  A non-positive ``max_count`` pops nothing (a
+        negative count must never reach the monotonic counter).
+        """
+        count = max(0, min(max_count, len(self)))
         out: List[Any] = []
         san = _sanitizer.active()
         tracer = _tracing.active()

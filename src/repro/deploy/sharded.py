@@ -373,6 +373,7 @@ class ShardedUserPlane:
         costs: CostModel = DEFAULT_COSTS,
         flow_cache: bool = True,
         flow_cache_capacity: int = DEFAULT_FLOW_CACHE_CAPACITY,
+        burst_size: int = 1,
         capacity_sessions_per_shard: int = 1_000_000,
         table_size: int = 128,
         rss_key: bytes = DEFAULT_RSS_KEY,
@@ -398,6 +399,7 @@ class ShardedUserPlane:
                 costs=costs,
                 flow_cache=flow_cache,
                 flow_cache_capacity=flow_cache_capacity,
+                burst_size=burst_size,
             )
             unit = UnitHandle(
                 unit_id=shard_id,
@@ -423,6 +425,37 @@ class ShardedUserPlane:
         shard_id = self.router.shard_for_packet(packet)
         self.dispatched[shard_id] += 1
         return self.shards[shard_id].upf_u.process(packet)
+
+    def process_burst(self, packets) -> list:
+        """RSS dispatch for a whole burst: one sub-burst per shard.
+
+        Packets are grouped by their RSS bucket's shard (preserving
+        per-shard arrival order — the same order the per-queue NIC
+        delivery would produce), each shard runs its own
+        ``process_burst``, and the outcomes scatter back into the
+        original burst order.  Each shard touches only its own
+        ``SessionTable``/``FlowCache``, so the single-writer discipline
+        the race detector enforces per shard is untouched by batching.
+        """
+        shard_for_packet = self.router.shard_for_packet
+        dispatched = self.dispatched
+        groups: Dict[int, List[int]] = {}
+        for index, packet in enumerate(packets):
+            shard_id = shard_for_packet(packet)
+            dispatched[shard_id] += 1
+            group = groups.get(shard_id)
+            if group is None:
+                groups[shard_id] = [index]
+            else:
+                group.append(index)
+        outcomes = [None] * len(packets)
+        shards = self.shards
+        for shard_id, indices in groups.items():
+            sub_burst = [packets[index] for index in indices]
+            sub_outcomes = shards[shard_id].upf_u.process_burst(sub_burst)
+            for index, outcome in zip(indices, sub_outcomes):
+                outcomes[index] = outcome
+        return outcomes
 
     def flush_session(self, session: UPFSession) -> int:
         shard_id = self.sessions.shard_of(session.seid)

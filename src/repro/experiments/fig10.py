@@ -28,6 +28,9 @@ __all__ = [
     "line_rate_pps",
     "CachedAblationRow",
     "flow_cache_ablation",
+    "BURST_SIZES",
+    "BurstScalingRow",
+    "burst_scaling",
 ]
 
 #: The swept packet sizes (bytes on the wire).
@@ -189,6 +192,64 @@ def flow_cache_ablation(
                 ),
                 free5gc_cached_mpps=(
                     costs.cached_forwarding_rate_pps(False, size, cores) / 1e6
+                ),
+            )
+        )
+    return rows
+
+
+#: The swept poll burst sizes (packets drained per ring poll).
+BURST_SIZES = (1, 4, 8, 16, 32, 64)
+
+
+@dataclass
+class BurstScalingRow:
+    """Burst-size ablation: per-poll overhead amortization per path.
+
+    Models what the platform's ``dequeue_burst`` buys: the fixed
+    per-poll cost (ring doorbell, descriptor prefetch, bookkeeping)
+    divides over the burst, so the DPDK rate climbs towards its
+    calibrated 32-packet-burst value while the kernel path — which has
+    no burst lever — stays flat.  Rates are CPU-limited (not capped at
+    line rate) for the same reason as :class:`CachedAblationRow`.
+    """
+
+    burst_size: int
+    size: int
+    l25gc_mpps: float
+    free5gc_mpps: float
+
+    @property
+    def l25gc_per_packet_us(self) -> float:
+        return 1.0 / self.l25gc_mpps
+
+
+def burst_scaling(
+    costs: CostModel = DEFAULT_COSTS,
+    burst_sizes=BURST_SIZES,
+    size: int = 68,
+    cores: int = 1,
+) -> List[BurstScalingRow]:
+    """CPU-limited forwarding rate vs. poll burst size at one packet
+    size.
+
+    ``burst_size == costs.calibrated_burst_size`` reproduces the
+    headline fig10 rate exactly; burst 1 shows the cost of draining
+    the ring one descriptor at a time.
+    """
+    rows: List[BurstScalingRow] = []
+    for burst in burst_sizes:
+        rows.append(
+            BurstScalingRow(
+                burst_size=burst,
+                size=size,
+                l25gc_mpps=(
+                    costs.burst_forwarding_rate_pps(True, size, burst, cores)
+                    / 1e6
+                ),
+                free5gc_mpps=(
+                    costs.burst_forwarding_rate_pps(False, size, burst, cores)
+                    / 1e6
                 ),
             )
         )

@@ -9,7 +9,13 @@ from .flow_cache import (
 )
 from .qos import QerEnforcer, TokenBucket, UsageCounter
 from .rules import FAR, FARAction, PDR, QER, far_from_ie, pdr_from_create_ie
-from .session import SessionTable, SessionTableView, UPFSession, packet_key
+from .session import (
+    SessionTable,
+    SessionTableView,
+    UPFSession,
+    packet_key,
+    packet_keys,
+)
 from .upf_c import UPFControlPlane
 from .upf_u import ForwardingStats, UPFUserPlane
 
@@ -20,6 +26,7 @@ __all__ = [
     "FlowCacheEntry",
     "RuleEpoch",
     "packet_key",
+    "packet_keys",
     "QerEnforcer",
     "TokenBucket",
     "UsageCounter",

@@ -206,6 +206,119 @@ class FlowCache:
         return entry
 
     # ------------------------------------------------------------------
+    # Burst data path
+    # ------------------------------------------------------------------
+    def lookup_many(self, keys):
+        """Bulk exact-match probe over a burst's distinct keys.
+
+        One race-detector read and one epoch load cover the whole
+        batch.  Unlike :meth:`lookup` this performs *no* LRU movement,
+        counter update, or stale-entry deletion — those effects replay
+        per packet in :meth:`commit_burst` so the cache evolves exactly
+        as it would under one-at-a-time processing.
+
+        Returns ``(found, stale)``: ``found`` maps each key holding a
+        current-epoch entry to that entry; ``stale`` is the set of keys
+        whose resident entry predates the epoch (left in place so the
+        replay deletes each one at its packet's LRU position).
+        """
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "entries")
+        generation = self._epoch.value
+        found = {}
+        stale = set()
+        get = self._entries.get
+        for key in keys:
+            entry = get(key)
+            if entry is None:
+                continue
+            if entry.generation != generation:
+                stale.add(key)
+            else:
+                found[key] = entry
+        return found, stale
+
+    def touch_burst(self, touch_keys, hits: int) -> None:
+        """All-hit fast path: fold one burst's LRU touches and hits.
+
+        Precondition (asserted by the caller's probe): every distinct
+        key of the burst is resident at the current epoch, so the
+        per-packet replay would be pure ``move_to_end`` touches.
+        Replaying touches in arrival order leaves each key at its
+        *last* occurrence's position, so one ``move_to_end`` per
+        distinct key in last-occurrence order (``touch_keys``)
+        produces the identical final LRU order with far fewer
+        20-field-tuple hashes; ``hits`` (the burst's cache-keyed
+        packet count) folds into the hit counter exactly as the
+        per-packet replay would.
+        """
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "entries", detail=f"touch_burst({hits} packets)"
+            )
+        move_to_end = self._entries.move_to_end
+        for key in touch_keys:
+            move_to_end(key)
+        self.hits += hits
+
+    def commit_burst(self, keys, resolved, start: int = 0) -> None:
+        """Replay a burst's per-packet cache effects in arrival order.
+
+        ``keys`` is the burst's per-packet key list from index
+        ``start`` on (``None`` entries — cache-bypassing packets — are
+        skipped); ``resolved`` maps each distinct key with an
+        apply-able decision to its :class:`FlowCacheEntry`.  Each
+        position performs exactly what the sequential ``lookup`` +
+        ``insert`` pair would have: a resident current-epoch entry is
+        touched (hit); a stale entry is deleted and, when resolved,
+        re-filled; an absent key is a miss, filled when resolved (with
+        LRU eviction under capacity pressure).  LRU order, eviction
+        victims, and the hit/miss/stale/insert/eviction counters
+        therefore match one-at-a-time processing exactly when no
+        epoch bump lands mid-burst.  (The all-hit steady state takes
+        :meth:`touch_burst` instead.)
+        """
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "entries",
+                detail=f"commit_burst({len(keys) - start} packets)",
+            )
+        entries = self._entries
+        generation = self._epoch.value
+        capacity = self.capacity
+        get = entries.get
+        hits = misses = stale = inserts = evictions = 0
+        for i in range(start, len(keys)):
+            key = keys[i]
+            if key is None:
+                continue
+            entry = get(key)
+            if entry is not None:
+                if entry.generation == generation:
+                    entries.move_to_end(key)
+                    hits += 1
+                    continue
+                del entries[key]
+                stale += 1
+            misses += 1
+            decision = resolved.get(key)
+            if decision is None:
+                continue
+            if len(entries) >= capacity:
+                entries.popitem(last=False)
+                evictions += 1
+            entries[key] = decision
+            inserts += 1
+        self.hits += hits
+        self.misses += misses
+        self.stale += stale
+        self.inserts += inserts
+        self.evictions += evictions
+
+    # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------
     def purge_session(self, session: Any) -> int:

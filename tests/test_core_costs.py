@@ -148,6 +148,43 @@ class TestDataPlane:
         tiny = DEFAULT_COSTS.scaled(dpdk_match_cost=10.0)
         assert tiny.cached_lookup(True, 68) >= tiny.flow_cache_probe
 
+    def test_burst_cost_at_calibrated_size_is_exact(self):
+        """The per-packet calibration already bakes in a 32-packet
+        burst, so burst=32 must reproduce the headline cost exactly."""
+        costs = DEFAULT_COSTS
+        assert costs.calibrated_burst_size == 32
+        for fast in (True, False):
+            assert costs.burst_per_packet_cost(
+                fast, 68, costs.calibrated_burst_size
+            ) == costs.per_packet_cost(fast, 68)
+
+    def test_burst_cost_monotone_in_burst_size(self):
+        costs = DEFAULT_COSTS
+        sweep = [
+            costs.burst_per_packet_cost(True, 68, burst)
+            for burst in (1, 4, 8, 16, 32, 64)
+        ]
+        assert sweep == sorted(sweep, reverse=True)
+        assert sweep[0] > sweep[-1]
+
+    def test_kernel_path_has_no_burst_lever(self):
+        """free5GC's interrupt-driven path cannot amortize polls."""
+        costs = DEFAULT_COSTS
+        assert costs.burst_per_packet_cost(
+            False, 68, 1
+        ) == costs.burst_per_packet_cost(False, 68, 64)
+
+    def test_burst_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COSTS.burst_per_packet_cost(True, 68, 0)
+
+    def test_burst_forwarding_rate_consistent(self):
+        costs = DEFAULT_COSTS
+        rate = costs.burst_forwarding_rate_pps(True, 68, 8, cores=2)
+        assert rate == pytest.approx(
+            2.0 / costs.burst_per_packet_cost(True, 68, 8)
+        )
+
 
 class TestScaled:
     def test_scaled_overrides(self):

@@ -192,3 +192,51 @@ class TestEdgeCases:
         ring = Ring(4)
         assert ring.clear() == 0
         assert ring.dropped == 0
+
+
+class TestDequeueBurstEquivalence:
+    """dequeue_burst must be stats-identical to N singleton dequeues."""
+
+    def test_empty_ring(self):
+        ring = Ring(8)
+        assert ring.dequeue_burst(4) == []
+        assert ring.dequeued == 0
+
+    def test_partial_burst(self):
+        ring = Ring(8)
+        ring.enqueue_burst([1, 2, 3])
+        assert ring.dequeue_burst(8) == [1, 2, 3]
+        assert ring.dequeued == 3
+
+    def test_burst_larger_than_capacity(self):
+        ring = Ring(4)
+        ring.enqueue_burst(list(range(4)))
+        assert ring.dequeue_burst(100) == list(range(4))
+        assert ring.dequeued == 4
+
+    @pytest.mark.parametrize("count", [0, -1, -100])
+    def test_non_positive_max_count_pops_nothing(self, count):
+        """A negative count must never reach the monotonic counter."""
+        ring = Ring(8)
+        ring.enqueue_burst([1, 2])
+        assert ring.dequeue_burst(count) == []
+        assert ring.dequeued == 0
+        assert len(ring) == 2
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=6), max_size=50),
+    )
+    def test_stats_identical_to_singleton_dequeues(self, drain_counts):
+        burst_ring, single_ring = Ring(8), Ring(8)
+        fill = 0
+        for count in drain_counts:
+            batch = list(range(fill, fill + 3))
+            fill += 3
+            burst_ring.enqueue_burst(batch)
+            single_ring.enqueue_burst(batch)
+            got = burst_ring.dequeue_burst(count)
+            singles = [
+                single_ring.dequeue() for _ in range(min(count, len(single_ring)))
+            ]
+            assert got == singles
+            assert burst_ring.stats() == single_ring.stats()

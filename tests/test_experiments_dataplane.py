@@ -3,7 +3,9 @@
 import pytest
 
 from repro.experiments.fig10 import (
+    BURST_SIZES,
     PACKET_SIZES,
+    burst_scaling,
     latency_vs_packet_size,
     line_rate_pps,
     scaling_40g,
@@ -11,6 +13,7 @@ from repro.experiments.fig10 import (
 )
 from repro.experiments.fig11 import (
     build_classifier,
+    bulk_probe_sweep,
     lookup_latency_sweep,
     update_latency,
 )
@@ -139,3 +142,44 @@ class TestFig11:
         assert len(classifier) == 200
         hits = sum(1 for key in keys if classifier.lookup(key) is not None)
         assert hits == len(keys)
+
+
+class TestBurstScaling:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return {row.burst_size: row for row in burst_scaling()}
+
+    def test_all_burst_sizes_swept(self, rows):
+        assert set(rows) == set(BURST_SIZES)
+
+    def test_calibrated_burst_reproduces_headline_rate(self, rows):
+        from repro.core import DEFAULT_COSTS
+
+        headline = DEFAULT_COSTS.forwarding_rate_pps(True, 68) / 1e6
+        assert rows[DEFAULT_COSTS.calibrated_burst_size].l25gc_mpps == (
+            pytest.approx(headline)
+        )
+
+    def test_l25gc_rate_climbs_with_burst(self, rows):
+        rates = [rows[burst].l25gc_mpps for burst in sorted(rows)]
+        assert rates == sorted(rates)
+        assert rates[-1] > rates[0]
+
+    def test_kernel_path_flat(self, rows):
+        kernel = {rows[burst].free5gc_mpps for burst in rows}
+        assert len(kernel) == 1
+
+    def test_bulk_probe_sweep_shapes(self):
+        """Measured lookup_many amortization: wall-clock, so only the
+        shape is asserted — bulk probing a warm cache must not be
+        slower than ~the singleton path at a realistic burst size."""
+        rows = bulk_probe_sweep(
+            burst_sizes=(1, 32), flows=8, rules=64, trace_len=2048
+        )
+        assert [row.burst_size for row in rows] == [1, 32]
+        for row in rows:
+            assert row.lookup_s > 0 and row.lookup_many_s > 0
+        # The 32-packet bulk probe skips per-key LRU/counter work; it
+        # should comfortably beat singletons (loose bound: no slower
+        # than 1.5x, to keep CI noise from flaking the suite).
+        assert rows[1].lookup_many_s < rows[1].lookup_s * 1.5

@@ -1,0 +1,636 @@
+"""Burst-mode UPF-U data plane: unit, property, and platform tests.
+
+The invariant that matters: **``process_burst`` is observationally
+identical to one-at-a-time ``process``** — same per-packet outcomes,
+bit-identical :class:`ForwardingStats`, identical URR byte counts, and
+identical flow-cache contents — over any interleaving of packets and
+rule mutations and any burst partition.  The property test replays
+randomized op sequences against a sequential stack and a burst stack
+(same oracle pattern as ``test_up_flow_cache``); the unit tests pin
+down each burst-specific mechanism (bulk probe, grouped resolution,
+LRU replay, run-splitting on a mid-burst epoch bump) individually.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import races
+from repro.classifier import LinearClassifier, PartitionSortClassifier
+from repro.cp import FiveGCore, ProcedureRunner, SystemConfig
+from repro.deploy.sharded import ShardedUserPlane
+from repro.net import Direction, FiveTuple, Packet
+from repro.sim import MS, Environment
+from repro.up import (
+    FAR,
+    FARAction,
+    FlowCache,
+    RuleEpoch,
+    SessionTable,
+    UPFUserPlane,
+    packet_key,
+    packet_keys,
+)
+
+from .test_up_flow_cache import dl_packet, make_session, ul_packet
+
+DN_IP = 0x08080808
+UE_BASE = 0x0A3C0000
+
+
+def build_pair(flow_cache=True, capacity=8, qer=False, urr=False, seids=(1,)):
+    """Two identical stacks: one driven sequentially, one by bursts."""
+    stacks = []
+    for _ in range(2):
+        table = SessionTable()
+        upf = UPFUserPlane(
+            Environment(),
+            table,
+            flow_cache=flow_cache,
+            flow_cache_capacity=capacity,
+        )
+        for seid in seids:
+            table.add(make_session(seid, LinearClassifier, qer=qer, urr=urr))
+        stacks.append((table, upf))
+    return stacks[0], stacks[1]
+
+
+def assert_equivalent(seq, bur, check_counters=True):
+    """Sequential stack and burst stack ended in the same state."""
+    (seq_table, seq_upf), (bur_table, bur_upf) = seq, bur
+    assert seq_upf.stats == bur_upf.stats
+    if seq_upf.flow_cache is not None:
+        sc, bc = seq_upf.flow_cache, bur_upf.flow_cache
+        assert list(sc._entries) == list(bc._entries)
+        if check_counters:
+            for name in ("hits", "misses", "stale", "inserts", "evictions",
+                         "purged"):
+                assert getattr(sc, name) == getattr(bc, name), name
+
+
+# ----------------------------------------------------------------------
+# packet_keys (vectorized key build)
+# ----------------------------------------------------------------------
+class TestPacketKeys:
+    def test_matches_packet_key_per_packet(self):
+        packets = [ul_packet(1), dl_packet(2), ul_packet(3, src_port=9)]
+        assert packet_keys(packets) == [packet_key(p) for p in packets]
+
+    def test_teidless_uplink_yields_none(self):
+        packet = ul_packet(1)
+        packet.teid = None
+        assert packet_keys([packet]) == [None]
+
+    def test_meta_fields_included(self):
+        packet = dl_packet(1)
+        packet.meta["app_id"] = 5
+        [key] = packet_keys([packet])
+        assert key == packet_key(packet)
+        plain = dl_packet(1)
+        assert key != packet_key(plain)
+
+    def test_empty(self):
+        assert packet_keys([]) == []
+
+
+# ----------------------------------------------------------------------
+# FlowCache burst primitives
+# ----------------------------------------------------------------------
+class TestFlowCacheBurstOps:
+    def test_lookup_many_probes_without_side_effects(self):
+        epoch = RuleEpoch()
+        cache = FlowCache(epoch, capacity=4)
+        cache.insert("a", None, 1, None)
+        cache.insert("b", None, 2, None)
+        epoch.bump()
+        cache.insert("c", None, 3, None)
+        found, stale = cache.lookup_many(["a", "b", "c", "d"])
+        assert set(found) == {"c"} and stale == {"a", "b"}
+        # No counters moved, no LRU movement, stale entries left in place.
+        assert (cache.hits, cache.misses, cache.stale) == (0, 0, 0)
+        assert list(cache._entries) == ["a", "b", "c"]
+
+    def test_commit_burst_replays_sequentially(self):
+        """commit_burst == the same key sequence via lookup/insert."""
+        epoch_a, epoch_b = RuleEpoch(), RuleEpoch()
+        seq = FlowCache(epoch_a, capacity=2)
+        bur = FlowCache(epoch_b, capacity=2)
+        for cache in (seq, bur):
+            cache.insert("a", None, 1, None)
+        keys = ["a", "b", "a", "c", "b"]
+        resolved = {
+            key: entry
+            for key, entry in (
+                (k, type(seq._entries["a"])(0, None, k, None, None, None))
+                for k in ("b", "c")
+            )
+        }
+        for key in keys:  # sequential oracle
+            if seq.lookup(key) is None and key in resolved:
+                decision = resolved[key]
+                seq.insert(key, decision.session, decision.pdr,
+                           decision.far, decision.enforcer, decision.counter)
+        bur.commit_burst(keys, resolved)
+        assert list(seq._entries) == list(bur._entries)
+        assert (seq.hits, seq.misses, seq.evictions) == (
+            bur.hits, bur.misses, bur.evictions)
+        # inserts diverge only through FlowCacheEntry construction in
+        # insert(); the counter itself must match.
+        assert seq.inserts == bur.inserts
+
+    def test_commit_burst_skips_none_keys(self):
+        cache = FlowCache(RuleEpoch(), capacity=4)
+        cache.commit_burst([None, None], {})
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_touch_burst_orders_by_last_occurrence(self):
+        seq = FlowCache(RuleEpoch(), capacity=4)
+        bur = FlowCache(RuleEpoch(), capacity=4)
+        for cache in (seq, bur):
+            for key in ("a", "b", "c"):
+                cache.insert(key, None, key, None)
+        touches = ["b", "a", "b", "c", "a"]
+        for key in touches:
+            seq.lookup(key)
+        # Distinct keys in last-occurrence order: b, c, a.
+        bur.touch_burst(["b", "c", "a"], hits=len(touches))
+        assert list(seq._entries) == list(bur._entries) == ["b", "c", "a"]
+        assert seq.hits == bur.hits == 5
+
+
+# ----------------------------------------------------------------------
+# process_burst unit behaviour
+# ----------------------------------------------------------------------
+class TestProcessBurst:
+    def test_empty_burst(self):
+        (_, upf), _ = build_pair()
+        assert upf.process_burst([]) == []
+        assert upf.stats.forwarded == 0
+
+    def test_singleton_equals_process(self):
+        (_, seq_upf), (_, bur_upf) = seq, bur = build_pair()
+        assert seq_upf.process(ul_packet(1)) == "forwarded-ul"
+        assert bur_upf.process_burst([ul_packet(1)]) == ["forwarded-ul"]
+        assert_equivalent(seq, bur)
+
+    def test_burst_of_distinct_flows_fills_then_hits(self):
+        (_, upf), _ = build_pair()
+        burst = [ul_packet(1, src_port=4000 + i) for i in range(4)]
+        assert upf.process_burst(burst) == ["forwarded-ul"] * 4
+        assert upf.flow_cache.inserts == 4
+        again = [ul_packet(1, src_port=4000 + i) for i in range(4)]
+        assert upf.process_burst(again) == ["forwarded-ul"] * 4
+        assert upf.flow_cache.hits == 4
+
+    def test_repeated_flow_resolves_once_per_burst(self):
+        """One classifier lookup per distinct flow, however many packets."""
+        (_, upf), _ = build_pair()
+        burst = [ul_packet(1) for _ in range(8)]
+        upf.process_burst(burst)
+        assert upf.flow_cache.inserts == 1
+        # Replay in arrival order: the first packet misses and fills,
+        # the other seven hit the fresh entry — same as sequential.
+        assert upf.flow_cache.misses == 1
+        assert upf.flow_cache.hits == 7
+        assert upf.stats.forwarded_ul == 8
+
+    def test_cache_off_burst_equals_sequential(self):
+        seq, bur = build_pair(flow_cache=False)
+        packets = [ul_packet(1), dl_packet(1), ul_packet(1, src_port=7)]
+        seq_out = [seq[1].process(p) for p in packets]
+        bur_out = bur[1].process_burst(
+            [ul_packet(1), dl_packet(1), ul_packet(1, src_port=7)]
+        )
+        assert seq_out == bur_out
+        assert_equivalent(seq, bur)
+
+    def test_teidless_uplink_mid_burst(self):
+        (_, upf), _ = build_pair()
+        bare = ul_packet(1)
+        bare.teid = None
+        out = upf.process_burst([ul_packet(1), bare, dl_packet(1)])
+        assert out == ["forwarded-ul", "drop-no-session", "forwarded-dl"]
+        assert len(upf.flow_cache) == 2  # the bare packet bypassed it
+
+    def test_qer_policing_order_within_burst(self):
+        """The MBR bucket drains packet-by-packet inside a burst."""
+        (_, seq_upf), (_, bur_upf) = seq, bur = build_pair(qer=True)
+        seq_out = [seq_upf.process(ul_packet(1)) for _ in range(5)]
+        bur_out = bur_upf.process_burst([ul_packet(1) for _ in range(5)])
+        assert seq_out == bur_out == ["forwarded-ul"] * 3 + ["drop-qos"] * 2
+        assert_equivalent(seq, bur)
+
+    def test_urr_accounting_within_burst(self):
+        (seq_table, seq_upf), (bur_table, bur_upf) = seq, bur = build_pair(
+            urr=True
+        )
+        for _ in range(4):
+            seq_upf.process(ul_packet(1))
+        bur_upf.process_burst([ul_packet(1) for _ in range(4)])
+        for table in (seq_table, bur_table):
+            session = table.by_seid(1)
+            assert session.usage_counters[1].uplink_bytes == 400
+        assert seq_upf.stats.usage_reports == bur_upf.stats.usage_reports == 1
+        assert_equivalent(seq, bur)
+
+    def test_buffering_notifies_once_per_episode(self):
+        (seq_table, seq_upf), (bur_table, bur_upf) = seq, bur = build_pair()
+        for table in (seq_table, bur_table):
+            table.by_seid(1).update_far(
+                FAR(
+                    far_id=2,
+                    action=FARAction(
+                        forward=False, buffer=True, notify_cp=True
+                    ),
+                )
+            )
+        seq_out = [seq_upf.process(dl_packet(1)) for _ in range(3)]
+        bur_out = bur_upf.process_burst([dl_packet(1) for _ in range(3)])
+        assert seq_out == bur_out == ["buffered"] * 3
+        assert seq_upf.stats.notifications == bur_upf.stats.notifications == 1
+        assert_equivalent(seq, bur)
+
+    def test_lru_eviction_order_matches_sequential(self):
+        seq, bur = build_pair(capacity=2, seids=(1, 2, 3))
+        packets = [dl_packet(1), dl_packet(2), dl_packet(1), dl_packet(3),
+                   dl_packet(2)]
+        seq_out = [seq[1].process(p) for p in packets]
+        bur_out = bur[1].process_burst(
+            [dl_packet(1), dl_packet(2), dl_packet(1), dl_packet(3),
+             dl_packet(2)]
+        )
+        assert seq_out == bur_out
+        assert seq[1].flow_cache.evictions == bur[1].flow_cache.evictions > 0
+        assert_equivalent(seq, bur)
+
+    def test_mid_burst_epoch_bump_splits_the_run(self):
+        """A notify-CP callback that mutates rules mid-burst: the
+        remaining packets must see the *new* rules, exactly as
+        one-at-a-time processing would."""
+        seq, bur = build_pair()
+
+        def arm(table, upf):
+            session = table.by_seid(1)
+            session.update_far(
+                FAR(
+                    far_id=2,
+                    action=FARAction(
+                        forward=False, buffer=True, notify_cp=True
+                    ),
+                )
+            )
+
+            def on_notify(notified):
+                # The CP reacts by switching the FAR to drop — an epoch
+                # bump landing *between* packets of the burst.  Under
+                # --race the rule write is the CP's, not the UPF-U's.
+                detector = races.active()
+                if detector is None:
+                    notified.update_far(
+                        FAR(far_id=9, action=FARAction(drop=True))
+                    )
+                else:
+                    with detector.role("upf-c"):
+                        notified.update_far(
+                            FAR(far_id=9, action=FARAction(drop=True))
+                        )
+
+            upf.notify_cp = on_notify
+
+        arm(*seq)
+        arm(*bur)
+        warm = [dl_packet(1)]  # cache the pre-bump decision
+        seq_out = [seq[1].process(p) for p in warm]
+        bur_out = bur[1].process_burst([dl_packet(1)])
+        packets = 4
+        seq_out += [seq[1].process(dl_packet(1)) for _ in range(packets)]
+        bur_out += bur[1].process_burst(
+            [dl_packet(1) for _ in range(packets)]
+        )
+        assert seq_out == bur_out
+        # First post-warm packet buffers and notifies; the bump means
+        # the rest re-resolve against the mutated session.
+        assert seq_out[1] == "buffered"
+        assert seq[1].stats == bur[1].stats
+        # Cache *contents* stay identical; hit/miss accounting may
+        # differ in the bump case (aborted-run commits re-observed as
+        # stale), so only contents are asserted here.
+        assert_equivalent(seq, bur, check_counters=False)
+
+    def test_burst_size_validation(self):
+        with pytest.raises(ValueError):
+            UPFUserPlane(Environment(), SessionTable(), burst_size=0)
+
+    def test_burst_size_arms_platform_burst_mode(self):
+        upf = UPFUserPlane(Environment(), SessionTable(), burst_size=16)
+        assert upf.burst_mode and upf.burst == 16
+        plain = UPFUserPlane(Environment(), SessionTable())
+        assert not plain.burst_mode
+
+
+# ----------------------------------------------------------------------
+# Property test: burst == sequential under random interleavings
+# ----------------------------------------------------------------------
+SEIDS = (1, 2, 3)
+
+_burst_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("ul"), st.sampled_from(SEIDS), st.integers(1, 3)),
+        st.tuples(st.just("dl"), st.sampled_from(SEIDS), st.integers(1, 3)),
+        st.tuples(st.just("add"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("del"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("buffer-far"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("forward-far"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("drop-pdr"), st.sampled_from(SEIDS), st.just(0)),
+        st.tuples(st.just("flush"), st.sampled_from(SEIDS), st.just(0)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def _mutate(op, seid, table, upf):
+    session = table.by_seid(seid)
+    if op == "add":
+        if session is None:
+            table.add(
+                make_session(seid, PartitionSortClassifier, qer=True,
+                             urr=True)
+            )
+    elif op == "del":
+        table.remove(seid)
+    elif op == "buffer-far" and session is not None:
+        session.update_far(
+            FAR(
+                far_id=2,
+                action=FARAction(forward=False, buffer=True, notify_cp=True),
+            )
+        )
+    elif op == "forward-far" and session is not None:
+        session.update_far(FAR(far_id=2, action=FARAction(forward=True)))
+    elif op == "drop-pdr" and session is not None:
+        if 2 in session.pdrs:
+            session.remove_pdr(2)
+        else:
+            fresh = make_session(seid, PartitionSortClassifier)
+            session.install_pdr(fresh.pdrs[2])
+    elif op == "flush" and session is not None:
+        upf.flush_session(session)
+
+
+def _packets_for(run, teidless_variant=3):
+    out = []
+    for op, seid, variant in run:
+        if op == "ul":
+            packet = ul_packet(seid, src_port=4000 + variant)
+            if variant == teidless_variant:
+                packet.teid = None  # exercise the cache-bypass lane
+            out.append(packet)
+        else:
+            out.append(dl_packet(seid, src_port=80 + variant))
+    return out
+
+
+def _replay(ops, burst_limits, flow_cache):
+    """Drive a sequential stack and a burst stack with the same script."""
+
+    def build():
+        table = SessionTable()
+        upf = UPFUserPlane(
+            Environment(), table, flow_cache=flow_cache,
+            flow_cache_capacity=8,  # tiny: exercise LRU eviction too
+        )
+        return table, upf
+
+    seq_table, seq_upf = build()
+    bur_table, bur_upf = build()
+    seq_out, bur_out = [], []
+    i = 0
+    limits = iter(burst_limits)
+    while i < len(ops):
+        op = ops[i][0]
+        if op in ("ul", "dl"):
+            limit = next(limits, 4)
+            run = [ops[i]]
+            i += 1
+            while (i < len(ops) and ops[i][0] in ("ul", "dl")
+                   and len(run) < limit):
+                run.append(ops[i])
+                i += 1
+            for packet in _packets_for(run):
+                seq_out.append(seq_upf.process(packet))
+            bur_out.extend(bur_upf.process_burst(_packets_for(run)))
+        else:
+            _mutate(ops[i][0], ops[i][1], seq_table, seq_upf)
+            _mutate(ops[i][0], ops[i][1], bur_table, bur_upf)
+            i += 1
+    assert seq_out == bur_out
+    assert seq_upf.stats == bur_upf.stats
+    for seid in SEIDS:  # identical URR byte counts
+        seq_session = seq_table.by_seid(seid)
+        bur_session = bur_table.by_seid(seid)
+        assert (seq_session is None) == (bur_session is None)
+        if seq_session is not None and 1 in seq_session.usage_counters:
+            assert (
+                seq_session.usage_counters[1].uplink_bytes
+                == bur_session.usage_counters[1].uplink_bytes
+            )
+            assert (
+                seq_session.usage_counters[1].downlink_bytes
+                == bur_session.usage_counters[1].downlink_bytes
+            )
+    if flow_cache:
+        sc, bc = seq_upf.flow_cache, bur_upf.flow_cache
+        assert list(sc._entries) == list(bc._entries)
+        for name in ("hits", "misses", "stale", "inserts", "evictions",
+                     "purged"):
+            assert getattr(sc, name) == getattr(bc, name), name
+
+
+@settings(max_examples=60, deadline=None)
+@given(_burst_ops, st.lists(st.integers(1, 9), max_size=30))
+def test_burst_equals_sequential(ops, burst_limits):
+    _replay(ops, burst_limits, flow_cache=True)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_burst_ops, st.lists(st.integers(1, 9), max_size=30))
+def test_burst_equals_sequential_cache_off(ops, burst_limits):
+    _replay(ops, burst_limits, flow_cache=False)
+
+
+# ----------------------------------------------------------------------
+# Sharded burst dispatch
+# ----------------------------------------------------------------------
+class TestShardedBurst:
+    def _sharded_and_plain(self, num_shards=4):
+        from .test_sharded_up import make_session as make_steered
+        from .test_sharded_up import dl_packet as sh_dl
+        from .test_sharded_up import ul_packet as sh_ul
+
+        sharded = ShardedUserPlane(
+            Environment(), num_shards, flow_cache=True, burst_size=8
+        )
+        plain_table = SessionTable()
+        plain = UPFUserPlane(Environment(), plain_table, flow_cache=True)
+        for seid in (1, 2, 3, 4, 5):
+            sharded.sessions.add(make_steered(seid))
+            plain_table.add(make_steered(seid))
+        return sharded, plain, sh_ul, sh_dl
+
+    def test_burst_scatter_gather_matches_unsharded(self):
+        sharded, plain, sh_ul, sh_dl = self._sharded_and_plain()
+        script = [(d, seid) for seid in (1, 2, 3, 4, 5)
+                  for d in ("ul", "dl", "ul")]
+
+        def burst_of():
+            return [
+                sh_ul(seid) if d == "ul" else sh_dl(seid)
+                for d, seid in script
+            ]
+
+        seq_out = [plain.process(p) for p in burst_of()]
+        bur_out = sharded.process_burst(burst_of())
+        assert seq_out == bur_out
+        assert sharded.stats == plain.stats
+        assert sum(sharded.dispatched) == len(script)
+        # Every shard with sessions saw only its own keys.
+        for shard in sharded.shards:
+            for entry in shard.upf_u.flow_cache._entries.values():
+                owner = sharded.sessions.shard_of(entry.session.seid)
+                assert owner == shard.shard_id
+
+    def test_sharded_burst_race_clean(self):
+        env = Environment()
+        from .test_sharded_up import make_session as make_steered
+        from .test_sharded_up import dl_packet as sh_dl
+        from .test_sharded_up import ul_packet as sh_ul
+
+        with races.traced(env=env) as detector:
+            sharded = ShardedUserPlane(env, 2, flow_cache=True, burst_size=8)
+            with detector.role("upf-c"):
+                for seid in (1, 2):
+                    sharded.sessions.add(make_steered(seid))
+            sharded.process_burst(
+                [sh_ul(1), sh_dl(2), sh_ul(2), sh_dl(1)]
+            )
+        assert detector.violations == [], detector.report()
+
+
+# ----------------------------------------------------------------------
+# Full system: SystemConfig(burst_size=...) end to end
+# ----------------------------------------------------------------------
+class TestFullSystemBurst:
+    def _core_with_burst(self, burst_size):
+        env = Environment()
+        config = SystemConfig.l25gc()
+        config.flow_cache = True
+        config.burst_size = burst_size
+        core = FiveGCore(env, config)
+        for gnb in core.gnbs.values():
+            gnb.radio_latency = 0.0
+        runner = ProcedureRunner(core)
+        ue = core.add_ue("imsi-208930000009001")
+        detail = {}
+
+        def lifecycle():
+            yield from runner.register_ue(ue, gnb_id=1)
+            result = yield from runner.establish_session(ue)
+            detail.update(result.detail)
+
+        env.process(lifecycle())
+        env.run()
+        outcomes = core.inject_downlink_burst(
+            [
+                Packet(
+                    direction=Direction.DOWNLINK,
+                    flow=FiveTuple(
+                        src_ip=1, dst_ip=detail["ue_ip"],
+                        src_port=80, dst_port=4000 + (seq % 4),
+                    ),
+                    created_at=env.now,
+                )
+                for seq in range(40)
+            ]
+        )
+        env.run()
+        return core, ue, outcomes
+
+    def test_burst32_delivery_identical_to_burst1(self):
+        bur_core, bur_ue, bur_out = self._core_with_burst(32)
+        seq_core, seq_ue, seq_out = self._core_with_burst(1)
+        assert bur_out == seq_out == ["forwarded-dl"] * 40
+        assert len(bur_ue.received) == len(seq_ue.received) == 40
+        assert bur_core.upf_u.stats == seq_core.upf_u.stats
+
+
+# ----------------------------------------------------------------------
+# NF platform: burst_mode polling through the rings
+# ----------------------------------------------------------------------
+class TestPlatformBurstMode:
+    def _platform(self, burst_size):
+        from repro.core import NFManager
+        from repro.pfcp.builder import build_session_establishment
+        from repro.up import UPFControlPlane
+
+        env = Environment()
+        manager = NFManager(env, pool_size=4096)
+        table = SessionTable()
+        delivered = []
+        upf_u = UPFUserPlane(
+            env,
+            table,
+            service_id=2,
+            downlink_sink=lambda p, t, a: delivered.append(p),
+            flow_cache=True,
+            burst_size=burst_size,
+        )
+        upf_c = UPFControlPlane(table, upf_u=upf_u, address=1)
+        upf_c.handle(
+            build_session_establishment(
+                seid=1, sequence=1, ue_ip=UE_BASE + 1, upf_address=1,
+                ul_teid=0x100, gnb_address=2, dl_teid=0x500,
+            )
+        )
+        manager.register(upf_u)
+        upf_u.start()
+        manager.start()
+        return env, manager, upf_u, delivered
+
+    def _dl(self, seq):
+        return Packet(
+            size=128,
+            seq=seq,
+            direction=Direction.DOWNLINK,
+            flow=FiveTuple(
+                src_ip=1, dst_ip=UE_BASE + 1, src_port=80, dst_port=4000
+            ),
+        )
+
+    @pytest.mark.parametrize("burst_size", [1, 32])
+    def test_packets_flow_through_rings(self, burst_size):
+        env, manager, upf_u, delivered = self._platform(burst_size)
+        for seq in range(50):
+            assert manager.inject(self._dl(seq), service_id=2)
+        env.run(until=10 * MS)
+        assert [p.seq for p in delivered] == list(range(50))
+        assert upf_u.handled == 50
+        assert manager.pool.in_use == 0
+
+    def test_burst_timing_identical_to_sequential(self):
+        """The burst branch charges the same summed processing time, so
+        simulated completion is identical at any burst size."""
+        done = {}
+        for label, burst_size in (("seq", 1), ("bur", 32)):
+            env, manager, upf_u, delivered = self._platform(burst_size)
+            for seq in range(100):
+                manager.inject(self._dl(seq), service_id=2)
+
+            def watch(env=env, upf_u=upf_u, label=label):
+                while upf_u.handled < 100:
+                    yield env.timeout(1e-6)
+                done[label] = env.now
+
+            env.process(watch())
+            env.run(until=50 * MS)
+        assert done["seq"] == pytest.approx(done["bur"], abs=2e-6)
