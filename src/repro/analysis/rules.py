@@ -601,7 +601,10 @@ class NonOwnerMutationRule(Rule):
     #: ``up`` package.
     SHARED_ATTRS = frozenset({
         "pdrs", "fars", "qers", "qer_enforcers", "usage_counters",
-        "report_pending", "_by_teid", "_by_ue_ip", "_by_seid",
+        "report_pending", "_by_seid",
+        # Hot-store slab internals (replaced the dual _by_teid /
+        # _by_ue_ip object dicts); membership writes stay UPF-C-only.
+        "_teid_index", "_ue_ip_index", "_slab", "_free",
     })
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -596,6 +596,12 @@ class ShardedUserPlane:
                 registry.gauge(
                     f"flow_cache_hit_rate{{shard={index}}}"
                 ).set_function(lambda c=cache: c.hit_rate)
+            # Per-shard hot-slab occupancy: each shard's table owns an
+            # independent HotSessionStore, so slab residency (the
+            # working-set the cache-cost model prices) is per shard.
+            shard.table.hot_store.register_into(
+                registry, prefix=f"hot_store{{shard={index}}}"
+            )
             shard.upf_u.stats.register_into(
                 registry, prefix=f"{prefix}{{shard={index}}}"
             )
@@ -619,6 +625,9 @@ class ShardedUserPlane:
             lambda: len(self.shards)
         )
         registry.gauge("shard.load_skew").set_function(self.load_skew)
+        registry.gauge("hot_store.live").set_function(
+            lambda: sum(len(s.table.hot_store) for s in self.shards)
+        )
 
 
 class ShardedUPFControlPlane(UPFControlPlane):

@@ -31,6 +31,9 @@ __all__ = [
     "BURST_SIZES",
     "BurstScalingRow",
     "burst_scaling",
+    "SESSION_COUNTS",
+    "LlcCliffRow",
+    "llc_cliff",
 ]
 
 #: The swept packet sizes (bytes on the wire).
@@ -250,6 +253,74 @@ def burst_scaling(
                 free5gc_mpps=(
                     costs.burst_forwarding_rate_pps(False, size, burst, cores)
                     / 1e6
+                ),
+            )
+        )
+    return rows
+
+
+#: Session counts swept by the LLC-cliff study (log-spaced so the
+#: L1 -> LLC -> DRAM transitions of both layouts land inside the sweep:
+#: the dict layout overflows a 32 MB LLC near 32 K sessions at
+#: ~1 KB/session, the 64 B hot slab not until ~512 K).
+SESSION_COUNTS = (
+    1, 100, 1_000, 10_000, 32_000, 100_000, 320_000, 1_000_000, 3_200_000,
+)
+
+
+@dataclass
+class LlcCliffRow:
+    """Cache-residency study: active sessions -> forwarding rate.
+
+    Models 5GC²ache's central measurement with the
+    :meth:`~repro.core.costs.CostModel.cache_aware_forwarding_rate_pps`
+    term: per-packet cost gains a session-state access component priced
+    by where the session working set lives (L1 / LLC / DRAM).  The
+    ``hot`` series uses the compact 64 B/session slab layout, the
+    ``dict`` series the ~1 KB/session dict-of-objects layout — the rate
+    cliffs when each working set overflows LLC, and the hot layout's
+    cliff lands ~an order of magnitude more sessions out.
+    """
+
+    sessions: int
+    hot_mpps: float
+    dict_mpps: float
+    hot_working_set_bytes: float
+    dict_working_set_bytes: float
+
+    @property
+    def hot_advantage(self) -> float:
+        return self.hot_mpps / self.dict_mpps
+
+
+def llc_cliff(
+    costs: CostModel = DEFAULT_COSTS,
+    session_counts=SESSION_COUNTS,
+    size: int = 68,
+    cores: int = 1,
+) -> List[LlcCliffRow]:
+    """Forwarding rate vs. active sessions, hot-slab vs. dict layout.
+
+    CPU-limited (not line-rate-capped) for the same reason as
+    :func:`flow_cache_ablation`: the study isolates what state layout
+    costs the match pipeline.
+    """
+    rows: List[LlcCliffRow] = []
+    for sessions in session_counts:
+        rows.append(
+            LlcCliffRow(
+                sessions=sessions,
+                hot_mpps=costs.cache_aware_forwarding_rate_pps(
+                    True, size, sessions, hot_layout=True, cores=cores
+                ) / 1e6,
+                dict_mpps=costs.cache_aware_forwarding_rate_pps(
+                    True, size, sessions, hot_layout=False, cores=cores
+                ) / 1e6,
+                hot_working_set_bytes=costs.session_state_working_set(
+                    sessions, hot_layout=True
+                ),
+                dict_working_set_bytes=costs.session_state_working_set(
+                    sessions, hot_layout=False
                 ),
             )
         )

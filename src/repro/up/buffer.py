@@ -43,15 +43,21 @@ class SmartBuffer:
         return not self._packets
 
     def push(self, packet: Packet) -> bool:
-        """Buffer a packet; False (and counted) when full."""
+        """Buffer a packet; False (and counted) when full.
+
+        The race-detector hook fires only *after* the capacity check
+        admits the packet: a tail-drop mutates drop accounting, not
+        ``packets``, and recording a phantom ``packets`` write would
+        make a full-buffer storm look like a cross-role data race.
+        """
+        if len(self._packets) >= self.capacity:
+            self.dropped += 1
+            return False
         detector = _races._ACTIVE
         if detector is not None:
             detector.on_write(
                 self, "packets", value=len(self._packets) + 1, detail="push"
             )
-        if len(self._packets) >= self.capacity:
-            self.dropped += 1
-            return False
         self._packets.append(packet)
         self.buffered_total += 1
         return True

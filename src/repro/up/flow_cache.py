@@ -44,6 +44,7 @@ __all__ = [
     "RuleEpoch",
     "FlowCacheEntry",
     "FlowCache",
+    "SetAssociativeFlowCache",
 ]
 
 #: Default LRU bound.  Sized like OVS's EMC (8k entries): large enough
@@ -79,22 +80,36 @@ class RuleEpoch:
 
 
 class FlowCacheEntry:
-    """One memoized pipeline decision, stamped with its fill epoch."""
+    """One memoized pipeline decision, stamped with its fill epoch.
 
-    __slots__ = ("generation", "session", "pdr", "far", "enforcer", "counter")
+    Since the hot/cold split the entry pins the *hot* session record
+    (:class:`~repro.up.hot_store.HotSessionRecord`), not the cold
+    session object — a cache hit stays entirely within the compact
+    decision state.  :attr:`session` dereferences to the cold half for
+    callers (tests, experiments) that want the full session; arbitrary
+    fill values without a ``cold`` backref pass through unchanged.
+    """
 
-    def __init__(self, generation, session, pdr, far, enforcer, counter):
+    __slots__ = ("generation", "hot", "pdr", "far", "enforcer", "counter")
+
+    def __init__(self, generation, hot, pdr, far, enforcer, counter):
         self.generation = generation
-        self.session = session
+        self.hot = hot
         self.pdr = pdr
         self.far = far
         self.enforcer = enforcer
         self.counter = counter
 
+    @property
+    def session(self):
+        """The cold session behind :attr:`hot` (compat surface)."""
+        hot = self.hot
+        return getattr(hot, "cold", hot)
+
     def __repr__(self) -> str:
         return (
             f"FlowCacheEntry(gen={self.generation}, "
-            f"seid={getattr(self.session, 'seid', None)}, "
+            f"seid={getattr(self.hot, 'seid', None)}, "
             f"pdr={getattr(self.pdr, 'pdr_id', self.pdr)})"
         )
 
@@ -334,8 +349,15 @@ class FlowCache:
                 self, "entries",
                 detail=f"purge_session(seid={getattr(session, 'seid', None)})",
             )
+        # Entries pin hot records; accept either half as the handle so
+        # lifecycle code can purge with whatever it holds.
+        hot = getattr(session, "hot", session)
         entries = self._entries
-        dead = [key for key, entry in entries.items() if entry.session is session]
+        dead = [
+            key
+            for key, entry in entries.items()
+            if entry.hot is hot or entry.hot is session
+        ]
         for key in dead:
             del entries[key]
         self.purged += len(dead)
@@ -379,3 +401,142 @@ class FlowCache:
         registry.gauge(f"{prefix}.hit_rate").set_function(
             lambda: self.hit_rate
         )
+
+
+class SetAssociativeFlowCache(FlowCache):
+    """A set-associative flow cache for the capacity/associativity
+    ablation.
+
+    Hardware exact-match caches are not fully associative: a key hashes
+    to one of ``capacity // ways`` sets and competes only with the
+    ``ways`` entries of that set, so colliding flows can thrash a set
+    long before the cache is globally full (conflict misses).  This
+    variant reproduces that behavior — per-set LRU over ``ways``
+    entries — so the ablation can separate capacity misses (fixed by a
+    bigger cache) from conflict misses (fixed by more ways).
+
+    Only the sequential data path (:meth:`lookup` / :meth:`insert`) is
+    set-aware; the ablation drives :meth:`UPFUserPlane.process`.  The
+    burst bulk paths are refused rather than silently resolved with
+    full associativity.
+    """
+
+    __slots__ = ("ways", "_sets")
+
+    def __init__(
+        self,
+        epoch: RuleEpoch,
+        capacity: int = DEFAULT_FLOW_CACHE_CAPACITY,
+        ways: int = 4,
+    ) -> None:
+        super().__init__(epoch, capacity)
+        if ways <= 0 or capacity % ways != 0:
+            raise ValueError(
+                f"ways must divide capacity: ways={ways!r}, "
+                f"capacity={capacity!r}"
+            )
+        self.ways = ways
+        self._sets: list = [OrderedDict() for _ in range(capacity // ways)]
+
+    def _set_for(self, key: Hashable) -> "OrderedDict":
+        return self._sets[hash(key) % len(self._sets)]
+
+    def lookup(self, key: Hashable) -> Optional[FlowCacheEntry]:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self, "entries")
+        entries = self._set_for(key)
+        entry = entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.generation != self._epoch.value:
+            del entries[key]
+            self.stale += 1
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(
+        self,
+        key: Hashable,
+        session: Any,
+        pdr: Any,
+        far: Any,
+        enforcer: Any = None,
+        counter: Any = None,
+    ) -> FlowCacheEntry:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "entries", value=len(self) + 1,
+                detail=f"insert(seid={getattr(session, 'seid', None)})",
+            )
+        entries = self._set_for(key)
+        if key in entries:
+            del entries[key]
+        elif len(entries) >= self.ways:
+            # Conflict eviction: the set is full even though the cache
+            # as a whole may not be.
+            entries.popitem(last=False)
+            self.evictions += 1
+        entry = FlowCacheEntry(
+            self._epoch.value, session, pdr, far, enforcer, counter
+        )
+        entries[key] = entry
+        self.inserts += 1
+        return entry
+
+    def lookup_many(self, keys):
+        raise NotImplementedError(
+            "SetAssociativeFlowCache supports the sequential pipeline "
+            "only (associativity ablation); use FlowCache for bursts"
+        )
+
+    def touch_burst(self, touch_keys, hits: int) -> None:
+        raise NotImplementedError(
+            "SetAssociativeFlowCache supports the sequential pipeline "
+            "only (associativity ablation); use FlowCache for bursts"
+        )
+
+    def commit_burst(self, keys, resolved, start: int = 0) -> None:
+        raise NotImplementedError(
+            "SetAssociativeFlowCache supports the sequential pipeline "
+            "only (associativity ablation); use FlowCache for bursts"
+        )
+
+    def purge_session(self, session: Any) -> int:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(
+                self, "entries",
+                detail=f"purge_session(seid={getattr(session, 'seid', None)})",
+            )
+        hot = getattr(session, "hot", session)
+        purged = 0
+        for entries in self._sets:
+            dead = [
+                key
+                for key, entry in entries.items()
+                if entry.hot is hot or entry.hot is session
+            ]
+            for key in dead:
+                del entries[key]
+            purged += len(dead)
+        self.purged += purged
+        return purged
+
+    def clear(self) -> None:
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_write(self, "entries", detail="clear()")
+        for entries in self._sets:
+            entries.clear()
+
+    def __len__(self) -> int:
+        return sum(len(entries) for entries in self._sets)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._set_for(key)

@@ -12,7 +12,7 @@ tokens is policed (dropped), exactly like a single-rate policer.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..net.packet import Direction, Packet
@@ -102,8 +102,13 @@ class UsageCounter:
     uplink_bytes: int = 0
     downlink_bytes: int = 0
     reports_raised: int = 0
-    #: Bytes at the time of the last raised report.
-    _reported_at_bytes: int = 0
+    #: Bytes at the time of the last raised report.  Internal
+    #: bookkeeping: kept out of ``__init__``/``repr``/equality so two
+    #: counters with the same configured rule and public totals compare
+    #: equal regardless of report timing.
+    _reported_at_bytes: int = field(
+        init=False, repr=False, compare=False, default=0
+    )
 
     @property
     def total_bytes(self) -> int:

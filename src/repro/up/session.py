@@ -25,6 +25,7 @@ from ..net.packet import Direction, Packet
 from ..pfcp import ies as pfcp_ies
 from .buffer import DEFAULT_UPF_BUFFER_PACKETS, SmartBuffer
 from .flow_cache import RuleEpoch
+from .hot_store import HotSessionRecord, HotSessionStore
 from .qos import QerEnforcer, UsageCounter
 from .rules import FAR, PDR, QER
 
@@ -159,7 +160,16 @@ def packet_keys(packets):
 
 
 class UPFSession:
-    """One PDU session's user-plane state.
+    """One PDU session's user-plane state — the *cold* half.
+
+    The per-packet decision state (PDI match classifier, rule dicts,
+    FAR actions, QER/URR refs, epoch stamp) lives on :attr:`hot`, a
+    compact :class:`~repro.up.hot_store.HotSessionRecord` the UPF-U
+    resolves through the session table's slab.  This object keeps what
+    the data path touches only on reports and lifecycle transitions:
+    the smart buffer, the report-pending flag, raw QER rule records.
+    The rule-management API is unchanged — reads and mutators delegate
+    to the hot record, so control-plane code never sees the split.
 
     Parameters
     ----------
@@ -183,23 +193,19 @@ class UPFSession:
         buffer_capacity: int = DEFAULT_UPF_BUFFER_PACKETS,
     ):
         self.seid = seid
-        self.ue_ip = ue_ip
-        self.ul_teid = ul_teid
-        self.pdrs: Dict[int, PDR] = {}
-        self.fars: Dict[int, FAR] = {}
+        #: The hot decision record; standalone (index -1) until
+        #: :meth:`SessionTable.add` adopts it into the shard's slab.
+        #: A fresh epoch is rebound to the table's shared one on add.
+        self.hot = HotSessionRecord(
+            seid, ue_ip, ul_teid, classifier_class(), RuleEpoch(), cold=self
+        )
+        #: Raw QER rule records (control-plane state; the data path
+        #: reads the derived enforcers off the hot record instead).
         self.qers: Dict[int, QER] = {}
-        #: Installed QoS enforcers (gate + MBR policer), by QER id.
-        self.qer_enforcers: Dict[int, "QerEnforcer"] = {}
-        #: Installed usage counters, by URR id.
-        self.usage_counters: Dict[int, "UsageCounter"] = {}
-        self.classifier: Classifier = classifier_class()
         self.buffer = SmartBuffer(buffer_capacity)
         #: Set while the CP has been notified of buffered DL data and
         #: paging is in flight (suppresses duplicate reports).
         self._report_pending = False
-        #: Rule-mutation epoch; rebound to the table's shared epoch by
-        #: :meth:`SessionTable.add` so one counter covers all sessions.
-        self.epoch = RuleEpoch()
         detector = _races.active()
         if detector is not None:
             # §3.2 single-writer split: the UPF-C owns the rule sets,
@@ -238,6 +244,50 @@ class UPFSession:
                 detail=f"report_pending = {value}",
             )
         self._report_pending = value
+
+    # -- hot-record delegation ---------------------------------------------
+    # The decision state moved to the compact hot record; these keep
+    # the pre-split read surface (control plane, tests, experiments)
+    # byte-for-byte compatible.
+    @property
+    def ue_ip(self) -> int:
+        return self.hot.ue_ip
+
+    @property
+    def ul_teid(self) -> int:
+        return self.hot.ul_teid
+
+    @property
+    def pdrs(self) -> Dict[int, PDR]:
+        return self.hot.pdrs
+
+    @property
+    def fars(self) -> Dict[int, FAR]:
+        return self.hot.fars
+
+    @property
+    def qer_enforcers(self) -> Dict[int, "QerEnforcer"]:
+        """Installed QoS enforcers (gate + MBR policer), by QER id."""
+        return self.hot.qer_enforcers
+
+    @property
+    def usage_counters(self) -> Dict[int, "UsageCounter"]:
+        """Installed usage counters, by URR id."""
+        return self.hot.usage_counters
+
+    @property
+    def classifier(self) -> Classifier:
+        return self.hot.classifier
+
+    @property
+    def epoch(self) -> RuleEpoch:
+        """Rule-mutation epoch; rebound to the table's shared epoch by
+        :meth:`SessionTable.add` so one counter covers all sessions."""
+        return self.hot.epoch
+
+    @epoch.setter
+    def epoch(self, value: RuleEpoch) -> None:
+        self.hot.epoch = value
 
     # -- rule management ----------------------------------------------------
     def install_pdr(self, pdr: PDR) -> None:
@@ -332,17 +382,10 @@ class UPFSession:
 
         ``key`` accepts a pre-built classification key so callers that
         already derived it (the flow-cache miss path) don't pay the
-        20-field build twice.
+        20-field build twice.  Delegates to the hot record — the same
+        code path the UPF-U pipeline runs against the slab.
         """
-        detector = _races._ACTIVE
-        if detector is not None:
-            detector.on_read(self, "pdrs")
-        if key is None:
-            key = packet_key(packet)
-        rule = self.classifier.lookup(key)
-        if rule is None:
-            return None
-        return self.pdrs.get(rule.rule_id)
+        return self.hot.match_pdr(packet, key)
 
     def _packet_key(self, packet: Packet):
         return packet_key(packet)
@@ -396,14 +439,22 @@ class SessionTableView(abc.ABC):
 class SessionTable(SessionTableView):
     """The UPF's dual hash tables: TEID -> session, UE IP -> session.
 
+    Since the hot/cold split, the dual data-path keys live in the
+    :class:`~repro.up.hot_store.HotSessionStore` slab (small-int
+    indices, compact records); the table keeps only the SEID map for
+    N4 addressing.  :meth:`by_teid` / :meth:`by_ue_ip` resolve through
+    the slab and return the cold session for control-plane callers —
+    the UPF-U pipeline probes :attr:`hot_store` directly and never
+    touches the cold object on the steady-state path.
+
     The table owns the shared rule-mutation :attr:`epoch` consulted by
     the UPF-U's flow cache; membership changes bump it, and sessions
     adopt it on :meth:`add` so their rule mutations bump it too.
     """
 
     def __init__(self) -> None:
-        self._by_teid: Dict[int, UPFSession] = {}
-        self._by_ue_ip: Dict[int, UPFSession] = {}
+        #: The compact hot-record slab holding the TEID / UE-IP keys.
+        self.hot_store = HotSessionStore()
         self._by_seid: Dict[int, UPFSession] = {}
         #: Shared generation counter for epoch-based cache invalidation.
         self.epoch = RuleEpoch()
@@ -428,13 +479,11 @@ class SessionTable(SessionTableView):
     def add(self, session: UPFSession) -> None:
         if session.seid in self._by_seid:
             raise ValueError(f"duplicate SEID {session.seid}")
-        if session.ul_teid in self._by_teid:
-            raise ValueError(f"duplicate UL TEID {session.ul_teid}")
-        if session.ue_ip in self._by_ue_ip:
-            raise ValueError(f"duplicate UE IP {session.ue_ip}")
+        # adopt() raises the duplicate-TEID / duplicate-UE-IP errors
+        # before any map is touched, so a failed add leaves the table
+        # unchanged.
+        self.hot_store.adopt(session.hot)
         self._by_seid[session.seid] = session
-        self._by_teid[session.ul_teid] = session
-        self._by_ue_ip[session.ue_ip] = session
         # Adopt the shared epoch: any later rule change on this session
         # invalidates the whole cache with one integer bump.
         session.epoch = self.epoch
@@ -452,8 +501,7 @@ class SessionTable(SessionTableView):
         session = self._by_seid.pop(seid, None)
         if session is None:
             return None
-        self._by_teid.pop(session.ul_teid, None)
-        self._by_ue_ip.pop(session.ue_ip, None)
+        self.hot_store.release(session.hot)
         detector = _races._ACTIVE
         if detector is not None:
             detector.on_write(
@@ -472,14 +520,16 @@ class SessionTable(SessionTableView):
         detector = _races._ACTIVE
         if detector is not None:
             detector.on_read(self, "sessions")
-        return self._by_teid.get(teid)
+        record = self.hot_store.by_teid(teid)
+        return None if record is None else record.cold
 
     def by_ue_ip(self, ue_ip: int) -> Optional[UPFSession]:
         """DL lookup: which session owns this UE address?"""
         detector = _races._ACTIVE
         if detector is not None:
             detector.on_read(self, "sessions")
-        return self._by_ue_ip.get(ue_ip)
+        record = self.hot_store.by_ue_ip(ue_ip)
+        return None if record is None else record.cold
 
     def by_seid(self, seid: int) -> Optional[UPFSession]:
         detector = _races._ACTIVE

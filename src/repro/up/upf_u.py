@@ -153,6 +153,12 @@ class UPFUserPlane(NetworkFunction):
             env, name, service_id, instance_id=instance_id, costs=costs
         )
         self.sessions = sessions
+        #: The compact hot-record slab the steady-state pipeline
+        #: resolves against (hot/cold split): probes return
+        #: :class:`~repro.up.hot_store.HotSessionRecord` and the cold
+        #: session object is dereferenced only on reports and
+        #: lifecycle transitions.
+        self.hot_sessions = sessions.hot_store
         #: Exact-match microflow cache (None when disabled).
         self.flow_cache: Optional[FlowCache] = (
             FlowCache(sessions.epoch, capacity=flow_cache_capacity)
@@ -249,7 +255,7 @@ class UPFUserPlane(NetworkFunction):
             if entry is not None:
                 outcome = self._apply(
                     packet,
-                    entry.session,
+                    entry.hot,
                     entry.pdr,
                     entry.far,
                     entry.enforcer,
@@ -258,15 +264,15 @@ class UPFUserPlane(NetworkFunction):
                 if tracer is not None:
                     tracer.instant("far-apply", parent=span, outcome=outcome)
                 return outcome
-        session = self._lookup_session(packet)
+        hot = self._lookup_hot(packet)
         if tracer is not None:
             tracer.instant(
-                "session-lookup", parent=span, hit=session is not None
+                "session-lookup", parent=span, hit=hot is not None
             )
-        if session is None:
+        if hot is None:
             stats.dropped_no_session += 1
             return "drop-no-session"
-        pdr = session.match_pdr(packet, key=key)
+        pdr = hot.match_pdr(packet, key=key)
         if tracer is not None:
             tracer.instant("pdr-match", parent=span, matched=pdr is not None)
         if pdr is None:
@@ -274,26 +280,27 @@ class UPFUserPlane(NetworkFunction):
             return "drop-no-pdr"
         detector = _races._ACTIVE
         if detector is not None:
-            detector.on_read(session, "fars")
-        far = session.fars.get(pdr.far_id)
+            detector.on_read(hot.cold, "fars")
+        far = hot.fars.get(pdr.far_id)
         if far is None:
             stats.dropped_no_pdr += 1
             return "drop-no-far"
         enforcer = (
-            session.qer_enforcers.get(pdr.qer_id)
+            hot.qer_enforcers.get(pdr.qer_id)
             if pdr.qer_id is not None
             else None
         )
         counter = (
-            session.usage_counters.get(pdr.urr_id)
+            hot.usage_counters.get(pdr.urr_id)
             if pdr.urr_id is not None
             else None
         )
         if key is not None:
             # Memoize the decision only — never the QER/URR verdicts,
-            # which are per-packet by nature.
-            cache.insert(key, session, pdr, far, enforcer, counter)
-        outcome = self._apply(packet, session, pdr, far, enforcer, counter)
+            # which are per-packet by nature.  The entry pins the hot
+            # record, keeping cache hits inside the compact slab.
+            cache.insert(key, hot, pdr, far, enforcer, counter)
+        outcome = self._apply(packet, hot, pdr, far, enforcer, counter)
         if tracer is not None:
             tracer.instant("far-apply", parent=span, outcome=outcome)
         return outcome
@@ -417,36 +424,38 @@ class UPFUserPlane(NetworkFunction):
                 )
                 committed = True
         # Slow-path resolution: once per distinct flow, not per packet.
+        # Resolution runs entirely against the hot slab; the cold
+        # session object is never touched here.
         for slot, key in enumerate(order_keys):
             if plans[slot] is not None:
                 continue
             packet = order_packets[slot]
-            session = self._lookup_session(packet)
-            if session is None:
+            hot = self._lookup_hot(packet)
+            if hot is None:
                 plans[slot] = "drop-no-session"
                 continue
-            pdr = session.match_pdr(packet, key=key)
+            pdr = hot.match_pdr(packet, key=key)
             if pdr is None:
                 plans[slot] = "drop-no-pdr"
                 continue
             if detector is not None:
-                detector.on_read(session, "fars")
-            far = session.fars.get(pdr.far_id)
+                detector.on_read(hot.cold, "fars")
+            far = hot.fars.get(pdr.far_id)
             if far is None:
                 plans[slot] = "drop-no-far"
                 continue
             entry = FlowCacheEntry(
                 epoch_value,
-                session,
+                hot,
                 pdr,
                 far,
                 (
-                    session.qer_enforcers.get(pdr.qer_id)
+                    hot.qer_enforcers.get(pdr.qer_id)
                     if pdr.qer_id is not None
                     else None
                 ),
                 (
-                    session.usage_counters.get(pdr.urr_id)
+                    hot.usage_counters.get(pdr.urr_id)
                     if pdr.urr_id is not None
                     else None
                 ),
@@ -491,7 +500,7 @@ class UPFUserPlane(NetworkFunction):
                     d_no_pdr += 1
                 i += 1
                 continue
-            session = plan.session
+            hot = plan.hot
             far = plan.far
             action = far.action
             if action.drop:
@@ -508,8 +517,13 @@ class UPFUserPlane(NetworkFunction):
             counter = plan.counter
             if counter is not None and counter.account(packet):
                 n_usage += 1
-                usage_report_sink(session, counter)
+                # Report path: the one place the steady loop needs the
+                # cold session (the CP callback takes it).
+                usage_report_sink(hot.cold, counter)
             if action.buffer:
+                # Buffering is a lifecycle transition: dereference the
+                # cold half for the smart buffer and report flag.
+                session = hot.cold
                 buffer = session.buffer
                 if len(buffer) >= self._effective_capacity(session):
                     buffer.dropped += 1
@@ -533,7 +547,7 @@ class UPFUserPlane(NetworkFunction):
                 if action.outer_teid is None or action.outer_address is None:
                     d_action += 1
                     outcomes[i] = "drop-action"
-                elif drain and not self._admit_behind_drain(packet, session):
+                elif drain and not self._admit_behind_drain(packet, hot):
                     outcomes[i] = "drop-buffer-full"
                 else:
                     packet.teid = action.outer_teid
@@ -584,21 +598,43 @@ class UPFUserPlane(NetworkFunction):
                     self.flow_cache.purge_session(session)
 
     def _lookup_session(self, packet: Packet) -> Optional[UPFSession]:
+        """Cold-session resolve (control-plane / compat callers)."""
         if packet.direction is Direction.UPLINK:
             if packet.teid is None:
                 return None
             return self.sessions.by_teid(packet.teid)
         return self.sessions.by_ue_ip(packet.flow.dst_ip)
 
+    def _lookup_hot(self, packet: Packet):
+        """Hot-record resolve: the data-path session lookup.
+
+        Probes the compact slab directly (§3.2's dual hash keys live
+        there since the hot/cold split).  The race-detector read is
+        recorded against the session table — the registered owner of
+        membership — exactly as the pre-split ``by_teid``/``by_ue_ip``
+        lookups did.
+        """
+        detector = _races._ACTIVE
+        if detector is not None:
+            detector.on_read(self.sessions, "sessions")
+        if packet.direction is Direction.UPLINK:
+            if packet.teid is None:
+                return None
+            return self.hot_sessions.by_teid(packet.teid)
+        return self.hot_sessions.by_ue_ip(packet.flow.dst_ip)
+
     def _apply(
         self,
         packet: Packet,
-        session: UPFSession,
+        hot,
         pdr: PDR,
         far: FAR,
         enforcer: Optional[QerEnforcer] = None,
         counter: Optional[UsageCounter] = None,
     ) -> str:
+        """Apply one pre-resolved decision (``hot`` is the session's
+        :class:`~repro.up.hot_store.HotSessionRecord`; the cold session
+        is dereferenced only on report/buffer transitions)."""
         action = far.action
         stats = self.stats
         if action.drop:
@@ -615,8 +651,9 @@ class UPFUserPlane(NetworkFunction):
         # when the volume threshold trips.
         if counter is not None and counter.account(packet):
             stats.usage_reports += 1
-            self.usage_report_sink(session, counter)
+            self.usage_report_sink(hot.cold, counter)
         if action.buffer:
+            session = hot.cold
             if len(session.buffer) >= self._effective_capacity(session):
                 session.buffer.dropped += 1
                 stats.dropped_buffer_full += 1
@@ -635,14 +672,14 @@ class UPFUserPlane(NetworkFunction):
         if not action.forward:
             stats.dropped_action += 1
             return "drop-action"
-        return self._forward(packet, pdr, far, session)
+        return self._forward(packet, pdr, far, hot)
 
     def _forward(
         self,
         packet: Packet,
         pdr: PDR,
         far: FAR,
-        session: Optional[UPFSession] = None,
+        hot=None,
     ) -> str:
         action = far.action
         if action.destination_interface == pfcp_ies.ACCESS:
@@ -650,8 +687,8 @@ class UPFUserPlane(NetworkFunction):
             if action.outer_teid is None or action.outer_address is None:
                 self.stats.dropped_action += 1
                 return "drop-action"
-            if session is not None and not self._admit_behind_drain(
-                packet, session
+            if hot is not None and not self._admit_behind_drain(
+                packet, hot
             ):
                 return "drop-buffer-full"
             packet.teid = action.outer_teid
@@ -686,27 +723,31 @@ class UPFUserPlane(NetworkFunction):
         others = max(0, len(self.sessions) - 1)
         return max(0, capacity - others * self.SHARED_BACKLOG_PER_SESSION)
 
-    def _admit_behind_drain(
-        self, packet: Packet, session: UPFSession
-    ) -> bool:
+    def _admit_behind_drain(self, packet: Packet, hot) -> bool:
         """Queue a forwarded packet behind an in-progress drain.
 
         Buffered packets re-inject serially; packets arriving before
         the drain completes wait their turn (extending it).  Returns
         False (and counts a drop) when the drain queue exceeds the
         effective buffer capacity.
+
+        Takes the hot record: the common no-drain case resolves on
+        ``hot.seid`` alone, and the cold session (for buffer capacity
+        and drop accounting) is dereferenced only while a drain is
+        actually in progress.
         """
-        drain_until = self._drain_until.get(session.seid)
+        drain_until = self._drain_until.get(hot.seid)
         now = self.env.now
         if drain_until is None or drain_until <= now:
             return True
+        session = hot.cold
         reinject = self._reinject_cost()
         backlog = (drain_until - now) / reinject
         if backlog >= self._effective_capacity(session):
             self.stats.dropped_buffer_full += 1
             session.buffer.dropped += 1
             return False
-        self._drain_until[session.seid] = drain_until + reinject
+        self._drain_until[hot.seid] = drain_until + reinject
         packet.meta["extra_delay"] = drain_until + reinject - now
         return True
 

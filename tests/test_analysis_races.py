@@ -143,6 +143,43 @@ class TestSeededNonOwnerWrite:
         assert det.violations == []
         assert det.accesses > 0
 
+    def test_full_buffer_tail_drop_records_no_packets_write(self):
+        """Regression: ``SmartBuffer.push`` used to fire the ``packets``
+        write hook *before* the capacity check, so a tail-drop on a full
+        buffer recorded a phantom write — and a full-buffer storm seen
+        from a non-owner role was reported as a cross-role data race
+        even though ``packets`` never changed."""
+        packet = Packet(direction=Direction.DOWNLINK, size=100)
+        with races.traced() as det:
+            session = UPFSession(
+                seid=1, ue_ip=UE_IP, ul_teid=0x100, buffer_capacity=2
+            )
+            with det.role("upf-u"):
+                assert session.buffer.push(packet)
+                assert session.buffer.push(packet)
+            # Overflow observed from the non-owner role: the drop path
+            # mutates only drop accounting, never ``packets``.
+            with det.role("upf-c"):
+                assert not session.buffer.push(packet)
+        assert session.buffer.dropped == 1
+        assert len(session.buffer) == 2
+        assert det.violations == []
+
+    def test_admitted_push_from_non_owner_still_flagged(self):
+        """The fix narrows the hook to admitted pushes only — a push
+        that *does* mutate ``packets`` from the wrong role must keep
+        tripping the detector."""
+        packet = Packet(direction=Direction.DOWNLINK, size=100)
+        with races.traced() as det:
+            session = UPFSession(
+                seid=1, ue_ip=UE_IP, ul_teid=0x100, buffer_capacity=2
+            )
+            with det.role("upf-c"):
+                assert session.buffer.push(packet)
+        [violation] = det.violations
+        assert violation.kind == "non-owner-write"
+        assert violation.part == "packets"
+
 
 class TestSeededWriteWriteConflict:
     def test_same_instant_cross_role_writes_conflict(self):

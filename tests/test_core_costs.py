@@ -185,6 +185,97 @@ class TestDataPlane:
             2.0 / costs.burst_per_packet_cost(True, 68, 8)
         )
 
+    def test_oversized_burst_overhead_clamps_to_positive_floor(self):
+        """Regression (ISSUE 9): a configured ``dpdk_burst_overhead``
+        larger than the calibrated share drives the amortized cost
+        negative at ``burst_size > calibrated_burst_size``; the cost
+        must clamp to the positive floor instead of letting the rate
+        divide by <= 0."""
+        costs = DEFAULT_COSTS
+        # Large enough that the (1/burst - 1/calibrated) overhead term
+        # exceeds the whole per-packet cost at burst 64.
+        hostile = costs.scaled(
+            dpdk_burst_overhead=1000.0
+            * costs.per_packet_cost(True, 68)
+            * costs.calibrated_burst_size
+        )
+        big_burst = costs.calibrated_burst_size * 2
+        cost = hostile.burst_per_packet_cost(True, 68, big_burst)
+        assert cost == hostile.min_per_packet_cost
+        assert cost > 0.0
+        rate = hostile.burst_forwarding_rate_pps(True, 68, big_burst)
+        assert rate > 0.0
+        assert rate == pytest.approx(1.0 / hostile.min_per_packet_cost)
+
+    def test_burst_cost_floor_boundary(self):
+        """At the exact overhead where the unclamped cost reaches the
+        floor, clamped and unclamped agree; one epsilon above, the
+        clamp engages (no discontinuity through zero)."""
+        costs = DEFAULT_COSTS
+        burst = costs.calibrated_burst_size * 2
+        base = costs.per_packet_cost(True, 68)
+        # overhead * (1/burst - 1/calibrated) == -(base - floor)
+        share = 1.0 / burst - 1.0 / costs.calibrated_burst_size
+        exact_overhead = (costs.min_per_packet_cost - base) / share
+        at_floor = costs.scaled(dpdk_burst_overhead=exact_overhead)
+        assert at_floor.burst_per_packet_cost(
+            True, 68, burst
+        ) == pytest.approx(at_floor.min_per_packet_cost)
+        beyond = costs.scaled(dpdk_burst_overhead=exact_overhead * 2)
+        assert beyond.burst_per_packet_cost(
+            True, 68, burst
+        ) == beyond.min_per_packet_cost
+
+
+class TestCacheHierarchy:
+    def test_hit_rate_curve(self):
+        costs = DEFAULT_COSTS
+        assert costs.cache_hit_rate(0, 1000) == 1.0
+        assert costs.cache_hit_rate(1000, 1000) == 1.0
+        assert costs.cache_hit_rate(2000, 1000) == pytest.approx(0.5)
+        assert costs.cache_hit_rate(1_000_000, 1000) == pytest.approx(0.001)
+
+    def test_state_latency_monotone_in_sessions(self):
+        costs = DEFAULT_COSTS
+        sweep = [
+            costs.state_access_latency(n)
+            for n in (1, 1_000, 100_000, 10_000_000)
+        ]
+        assert sweep == sorted(sweep)
+        assert sweep[-1] > sweep[0]
+
+    def test_hot_layout_cliffs_later_than_dict(self):
+        """The LLC overflow point scales with bytes/session: the 64 B
+        hot slab holds ~16x more sessions inside LLC than the ~1 KB
+        dict layout, so at any count past the dict cliff the hot layout
+        is strictly cheaper."""
+        costs = DEFAULT_COSTS
+        dict_cliff_sessions = costs.llc_size_bytes // costs.cold_session_bytes
+        n = dict_cliff_sessions * 4
+        assert costs.state_access_latency(
+            n, hot_layout=True
+        ) < costs.state_access_latency(n, hot_layout=False)
+        # Inside L1 both layouts resolve at L1 latency: no delta.
+        assert costs.state_access_latency(1, True) == pytest.approx(
+            costs.state_access_latency(1, False)
+        )
+
+    def test_cache_aware_cost_anchored_at_one_session(self):
+        """One resident session reproduces the calibrated per-packet
+        cost exactly — the cache term only prices the *delta* from the
+        single-session working set the calibration ran with."""
+        costs = DEFAULT_COSTS
+        for fast in (True, False):
+            assert costs.cache_aware_per_packet_cost(
+                fast, 68, 1
+            ) == pytest.approx(costs.per_packet_cost(fast, 68))
+
+    def test_cache_aware_rate_positive_and_cliffed(self):
+        costs = DEFAULT_COSTS
+        small = costs.cache_aware_forwarding_rate_pps(True, 68, 100)
+        huge = costs.cache_aware_forwarding_rate_pps(True, 68, 10_000_000)
+        assert small > huge > 0.0
+
 
 class TestScaled:
     def test_scaled_overrides(self):

@@ -79,6 +79,55 @@ class TestTokenBucket:
         bound = bucket.burst_bytes + rate_bps / 8 * now
         assert admitted <= bound + 1e-6
 
+    def test_first_admit_at_late_sim_time_caps_at_burst(self):
+        """A bucket created at t=0 but first used deep into the
+        simulation (``_last_refill == 0.0``, huge elapsed) must cap the
+        refill at the bucket depth — the long idle gap is not credit."""
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=500)
+        assert bucket.admit(400, now=1e9)  # ~125 MB "refilled" if uncapped
+        assert bucket.tokens == pytest.approx(100)
+        # A burst-sized draw right after must fail: only depth remains.
+        assert not bucket.admit(500, now=1e9)
+
+    def test_non_monotonic_now_never_goes_negative(self):
+        """Time running backwards (clock skew between callers) must not
+        refill and must never drive the token count negative."""
+        bucket = TokenBucket(rate_bps=8_000, burst_bytes=1000)
+        assert bucket.admit(1000, now=1.0)
+        assert bucket.tokens == pytest.approx(0.0)
+        # Earlier timestamp: elapsed < 0, refill skipped, no admit.
+        assert not bucket.admit(1, now=0.5)
+        assert bucket.tokens >= 0.0
+        assert bucket.tokens == pytest.approx(0.0)
+        # _last_refill stays at the later stamp: moving forward again
+        # refills from 1.0, not from the skewed 0.5.
+        assert bucket.admit(100, now=1.1)  # 0.1 s x 1000 B/s = 100 B
+        assert bucket.tokens == pytest.approx(0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=2000),
+                st.floats(
+                    min_value=0.0,
+                    max_value=1e7,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_tokens_always_within_bounds(self, draws):
+        """Under arbitrary (even non-monotonic) timestamps the token
+        count stays in ``[0, burst_bytes]``."""
+        bucket = TokenBucket(rate_bps=1e6, burst_bytes=1500)
+        for size, now in draws:
+            bucket.admit(size, now)
+            assert 0.0 <= bucket.tokens <= bucket.burst_bytes + 1e-9
+
 
 class TestQerEnforcer:
     def _packet(self, direction=Direction.DOWNLINK, size=100):
@@ -128,6 +177,43 @@ class TestUsageCounter:
         counter = UsageCounter(urr_id=1)
         for _ in range(100):
             assert not counter.account(Packet(size=1500))
+
+    def test_one_packet_crossing_multiple_thresholds_reports_once(self):
+        """A single packet whose volume spans several threshold
+        multiples raises exactly one report; the high-water mark then
+        resets to the current total, so the *next* crossing needs a
+        full threshold of fresh volume."""
+        counter = UsageCounter(urr_id=1, volume_threshold_bytes=100)
+        assert counter.account(
+            Packet(size=1000, direction=Direction.DOWNLINK)
+        )
+        assert counter.reports_raised == 1
+        # 99 more bytes: still under the next threshold from 1000.
+        assert not counter.account(
+            Packet(size=99, direction=Direction.DOWNLINK)
+        )
+        assert counter.account(
+            Packet(size=1, direction=Direction.DOWNLINK)
+        )
+        assert counter.reports_raised == 2
+
+    def test_report_bookkeeping_is_internal(self):
+        """``_reported_at_bytes`` is bookkeeping, not configuration: it
+        must not leak into ``__init__``, ``repr``, or equality."""
+        with pytest.raises(TypeError):
+            UsageCounter(urr_id=1, _reported_at_bytes=5)
+        reported = UsageCounter(urr_id=1, volume_threshold_bytes=100)
+        silent = UsageCounter(urr_id=1, volume_threshold_bytes=100)
+        assert reported.account(
+            Packet(size=100, direction=Direction.DOWNLINK)
+        )
+        # Same public totals, different report timing -> still equal.
+        silent.uplink_bytes = reported.uplink_bytes
+        silent.downlink_bytes = reported.downlink_bytes
+        silent.reports_raised = reported.reports_raised
+        assert reported == silent
+        assert reported._reported_at_bytes != silent._reported_at_bytes
+        assert "_reported_at_bytes" not in repr(reported)
 
 
 class TestQosIEs:
