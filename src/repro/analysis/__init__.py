@@ -20,12 +20,33 @@ Two coordinated halves guard the shared-memory core:
   and every access is checked for cross-role same-instant conflicts,
   non-owner writes, and rule mutations missing a ``RuleEpoch.bump()``.
   Its static half lives in :mod:`repro.analysis.rules` as R008/R009.
+* :mod:`repro.analysis.dataflow` — a worklist-based typestate engine
+  (``python -m repro.analysis.dataflow src/repro``) that statically
+  verifies the descriptor, session, and resource lifecycles the
+  sanitizer checks at run time: mutate-after-send / double-enqueue on
+  every path (W005), session/rule lifecycle ordering and dangling FAR
+  references (W006), resources leaked on raising paths (W007), and
+  dead configuration nothing observes (W008).  The state names and
+  violation kinds it cites come from :mod:`repro.analysis.lifecycle`,
+  shared verbatim with the sanitizer.
 
-Every perf or scale PR is expected to keep ``lint`` clean against the
-committed baseline and the tier-1 suite green under both
-``pytest --sanitize`` and ``pytest --race``.
+``python -m repro.analysis all`` runs lint + program + dataflow in one
+command against the committed baselines.  Every analyzer CLI exits 0
+when clean, 1 on findings, and 2 on a stale baseline or budget.
+
+Every perf or scale PR is expected to keep all three static gates
+clean against the committed baselines and the tier-1 suite green under
+both ``pytest --sanitize`` and ``pytest --race``.
 """
 
 from __future__ import annotations
 
-__all__ = ["lint", "races", "rules", "sanitizer"]
+__all__ = [
+    "dataflow",
+    "lifecycle",
+    "lint",
+    "races",
+    "report",
+    "rules",
+    "sanitizer",
+]

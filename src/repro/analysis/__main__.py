@@ -1,0 +1,90 @@
+"""``python -m repro.analysis`` umbrella entry point.
+
+``python -m repro.analysis all`` runs every static analyzer in this
+package against its committed defaults, in order:
+
+1. ``lint``      — file-local determinism rules (R001+) over
+   ``src``/``tests``, baseline ``analysis-baseline.json``
+2. ``program``   — whole-program W001–W004 over ``src/repro``
+   (budget/baseline auto-picked from the working directory)
+3. ``dataflow``  — typestate W005–W008 over ``src/repro``
+   (baseline auto-picked from the working directory)
+
+With ``--json`` the three reports are merged into one document keyed
+by stage.  The exit code is the *worst* stage outcome under the shared
+convention: 2 if any stage saw a stale baseline/budget, else 1 if any
+stage has findings, else 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import os
+import sys
+from contextlib import redirect_stdout
+from typing import Optional, Sequence
+
+from .dataflow.cli import main as dataflow_main
+from .lint import main as lint_main
+from .program.cli import main as program_main
+from .report import EXIT_CLEAN, EXIT_FINDINGS, EXIT_STALE
+
+#: (stage, runner, default paths, explicit baseline file or None when
+#: the stage auto-discovers its own default baseline).
+STAGES = (
+    ("lint", lint_main, ["src", "tests"], "analysis-baseline.json"),
+    ("program", program_main, ["src/repro"], None),
+    ("dataflow", dataflow_main, ["src/repro"], None),
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Run every static analyzer (lint + program + dataflow) "
+            "against the committed baselines."
+        ),
+    )
+    parser.add_argument("command", choices=("all",))
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text"
+    )
+    args = parser.parse_args(argv)
+
+    exits = {}
+    merged = {}
+    for name, run, paths, baseline in STAGES:
+        stage_argv = list(paths)
+        if baseline and os.path.exists(baseline):
+            stage_argv += ["--baseline", baseline]
+        if args.as_json:
+            stage_argv.append("--json")
+            buffer = io.StringIO()
+            with redirect_stdout(buffer):
+                code = run(stage_argv)
+            try:
+                merged[name] = json.loads(buffer.getvalue())
+            except ValueError:
+                merged[name] = {"raw": buffer.getvalue()}
+        else:
+            stage_argv += ["--format", args.format]
+            print(f"== {name} ==")
+            code = run(stage_argv)
+        exits[name] = code
+
+    if args.as_json:
+        print(json.dumps({"stages": merged, "exit_codes": exits}, indent=2))
+
+    if any(code == EXIT_STALE for code in exits.values()):
+        return EXIT_STALE
+    if any(code == EXIT_FINDINGS for code in exits.values()):
+        return EXIT_FINDINGS
+    return EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,138 @@
+"""Command line for the typestate dataflow checks (W005--W008).
+
+Usage::
+
+    python -m repro.analysis.dataflow [paths...] [options]
+
+Paths default to ``src/repro``.  Exit codes follow the shared
+convention of every analysis CLI in this repo:
+
+* **0** — clean (all findings baseline-suppressed counts as clean)
+* **1** — findings
+* **2** — stale baseline (an entry's count exceeds the tree's actual
+  occurrences — a fixed finding must be removed from the baseline) or
+  unreadable input
+
+``analysis-dataflow-baseline.json`` in the working directory is picked
+up automatically, like the other analyzers' default baselines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+from ..report import (
+    EXIT_STALE,
+    apply_baseline,
+    emit_findings,
+    iter_python_files,
+    load_baseline,
+    report_stale_entries,
+    resolve_exit,
+    stale_baseline_entries,
+    write_baseline,
+)
+from .checks import CHECK_CODES, analyze_dataflow
+
+__all__ = ["main", "DEFAULT_BASELINE_FILE"]
+
+DEFAULT_BASELINE_FILE = "analysis-dataflow-baseline.json"
+
+
+def load_files(paths: Sequence[str]) -> List[Tuple[str, str]]:
+    """Read every python file under ``paths`` as (path, source)."""
+    files: List[Tuple[str, str]] = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            files.append((path, handle.read()))
+    return files
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[set]:
+    if not raw:
+        return None
+    return {code.strip().upper() for code in raw.split(",")}
+
+
+def _active_codes(select: Optional[str], ignore: Optional[str]) -> set:
+    keep = set(CHECK_CODES)
+    selected = _parse_codes(select)
+    if selected is not None:
+        keep &= selected
+    ignored = _parse_codes(ignore)
+    if ignored is not None:
+        keep -= ignored
+    return keep
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.dataflow",
+        description=(
+            "Typestate dataflow checks: descriptor, session, and "
+            "resource lifecycles verified statically on every path."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"])
+    parser.add_argument("--json", action="store_true", dest="as_json")
+    parser.add_argument(
+        "--format", choices=("text", "github"), default="text"
+    )
+    parser.add_argument("--baseline", metavar="PATH")
+    parser.add_argument("--write-baseline", metavar="PATH", dest="write_to")
+    parser.add_argument("--select", metavar="CODES")
+    parser.add_argument("--ignore", metavar="CODES")
+    args = parser.parse_args(argv)
+
+    try:
+        files = load_files(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_STALE
+
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists(DEFAULT_BASELINE_FILE):
+        baseline_path = DEFAULT_BASELINE_FILE
+
+    active = _active_codes(args.select, args.ignore)
+    report = analyze_dataflow(files, checks=sorted(active))
+    findings = report.findings
+
+    if args.write_to:
+        count = write_baseline(args.write_to, findings)
+        print(
+            f"wrote baseline {args.write_to}: {count} entr"
+            f"{'y' if count == 1 else 'ies'} "
+            f"({len(findings)} finding(s))"
+        )
+        return 0
+
+    suppressed = 0
+    if baseline_path:
+        try:
+            baseline = load_baseline(baseline_path)
+        except FileNotFoundError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_STALE
+        stale = stale_baseline_entries(findings, baseline, codes=active)
+        if stale:
+            report_stale_entries(stale)
+            return EXIT_STALE
+        findings, suppressed = apply_baseline(findings, baseline)
+
+    if args.as_json:
+        payload = report.to_dict()
+        payload["findings"] = [f.to_dict() for f in findings]
+        payload["suppressed"] = suppressed
+        print(json.dumps(payload, indent=2))
+    else:
+        emit_findings(findings, fmt=args.format, suppressed=suppressed)
+    return resolve_exit(findings)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -23,21 +23,39 @@ Options
 ``--write-baseline analysis-baseline.json``
     Record the current findings as the baseline and exit 0.
 
+Exit codes are the uniform :mod:`repro.analysis.report` semantics —
+0 clean, 1 findings, 2 stale baseline entry / unreadable input.
 Baseline entries are keyed ``(path, code, message)`` with an occurrence
 count, **not** line numbers, so unrelated edits that shift lines do not
 invalidate the baseline; adding a second instance of a baselined
-violation in the same file still fails.
+violation in the same file still fails, and a baseline entry whose
+violation no longer exists fails the run with exit 2 until the
+baseline is regenerated.
 """
 
 from __future__ import annotations
 
 import argparse
-import collections
 import json
-import os
 import sys
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+# Baseline/emission machinery lives in the shared report module; the
+# historical names are re-exported here because tests and downstream
+# tooling import them from the lint CLI.
+from .report import (
+    EXIT_STALE,
+    BaselineKey,  # noqa: F401  (re-export)
+    apply_baseline,
+    emit_findings,
+    github_annotation,
+    iter_python_files,
+    load_baseline,
+    report_stale_entries,
+    resolve_exit,
+    stale_baseline_entries,
+    write_baseline,
+)
 from .rules import FileContext, Finding, Rule, all_rules
 
 __all__ = [
@@ -50,26 +68,6 @@ __all__ = [
     "github_annotation",
     "main",
 ]
-
-
-def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    out: List[str] = []
-    for path in paths:
-        if os.path.isfile(path):
-            out.append(path)
-        elif os.path.isdir(path):
-            for root, dirs, files in os.walk(path):
-                dirs[:] = sorted(
-                    d for d in dirs
-                    if not d.startswith(".") and d != "__pycache__"
-                )
-                for name in sorted(files):
-                    if name.endswith(".py"):
-                        out.append(os.path.join(root, name))
-        else:
-            raise FileNotFoundError(f"no such file or directory: {path}")
-    return out
 
 
 def lint_file(
@@ -111,78 +109,6 @@ def lint_paths(
     for path in iter_python_files(paths):
         findings.extend(lint_file(path, rules=rules))
     return findings
-
-
-# ---------------------------------------------------------------------------
-# Baselines
-# ---------------------------------------------------------------------------
-
-#: Baseline key: stable across line-number churn.
-BaselineKey = Tuple[str, str, str]
-
-
-def _baseline_key(finding: Finding) -> BaselineKey:
-    return (finding.path.replace("\\", "/"), finding.code, finding.message)
-
-
-def write_baseline(path: str, findings: Sequence[Finding]) -> int:
-    """Serialize the findings as a baseline file; returns entry count."""
-    counts: Dict[BaselineKey, int] = collections.Counter(
-        _baseline_key(f) for f in findings
-    )
-    entries = [
-        {"path": p, "code": c, "message": m, "count": n}
-        for (p, c, m), n in sorted(counts.items())
-    ]
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"version": 1, "entries": entries}, handle, indent=2)
-        handle.write("\n")
-    return len(entries)
-
-
-def load_baseline(path: str) -> Dict[BaselineKey, int]:
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
-    counts: Dict[BaselineKey, int] = collections.Counter()
-    for entry in data.get("entries", []):
-        key = (entry["path"], entry["code"], entry["message"])
-        counts[key] += int(entry.get("count", 1))
-    return counts
-
-
-def apply_baseline(
-    findings: Sequence[Finding], baseline: Dict[BaselineKey, int]
-) -> Tuple[List[Finding], int]:
-    """Split findings into (new, suppressed-count) against a baseline.
-
-    Each baseline entry absorbs up to ``count`` occurrences of the same
-    (path, code, message); any excess is reported as new.
-    """
-    budget = collections.Counter(baseline)
-    fresh: List[Finding] = []
-    suppressed = 0
-    for finding in findings:
-        key = _baseline_key(finding)
-        if budget[key] > 0:
-            budget[key] -= 1
-            suppressed += 1
-        else:
-            fresh.append(finding)
-    return fresh, suppressed
-
-
-def github_annotation(finding: Finding) -> str:
-    """Render a finding as a GitHub Actions workflow command so CI
-    findings annotate the offending PR line."""
-    level = "error" if finding.severity == "error" else "warning"
-    # The message payload must be single-line; %0A encodes newlines.
-    message = f"{finding.code} {finding.message}".replace(
-        "%", "%25"
-    ).replace("\r", "").replace("\n", "%0A")
-    return (
-        f"::{level} file={finding.path},line={finding.line},"
-        f"col={finding.col},title={finding.code}::{message}"
-    )
 
 
 def _select_rules(
@@ -229,7 +155,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         findings = lint_paths(args.paths, rules=rules)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_STALE
 
     if args.write_to:
         count = write_baseline(args.write_to, findings)
@@ -246,22 +172,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline = load_baseline(args.baseline)
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_STALE
+        # R000 (syntax error) is always live even under --select.
+        active = {rule.code for rule in rules} | {"R000"}
+        stale = stale_baseline_entries(findings, baseline, codes=active)
+        if stale:
+            report_stale_entries(stale)
+            return EXIT_STALE
         findings, suppressed = apply_baseline(findings, baseline)
 
     if args.as_json:
         print(json.dumps([f.to_dict() for f in findings], indent=2))
-    elif args.format == "github":
-        for finding in findings:
-            print(github_annotation(finding))
     else:
-        for finding in findings:
-            print(finding.format())
-        if findings:
-            print(f"{len(findings)} finding(s)")
-        if suppressed:
-            print(f"{suppressed} baselined finding(s) suppressed")
-    return 1 if findings else 0
+        emit_findings(findings, fmt=args.format, suppressed=suppressed)
+    return resolve_exit(findings)
 
 
 if __name__ == "__main__":

@@ -10,6 +10,10 @@ Layers (each importable on its own):
 * :mod:`.summaries` — per-function CFG summaries (allocations, yields,
   shared reads/writes, epoch bumps) and the path-sensitive
   interprocedural epoch-bump dataflow.
+* :mod:`.cfg` — statement-level control-flow graphs with def/use
+  sets, attribute-write and call-site records, and explicit exception
+  edges; the substrate the typestate engine
+  (:mod:`repro.analysis.dataflow`) solves over.
 * :mod:`.checks` — the four semantic checks W001–W004 producing
   :class:`~repro.analysis.rules.Finding` objects with call-chain
   evidence.
@@ -19,6 +23,7 @@ zero import-time or runtime cost for the analyzer's existence.
 """
 
 from .callgraph import CallEdge, CallGraph, UnknownEdge, build_call_graph
+from .cfg import CFG, AttrWrite, CallSite, CFGNode, build_cfg
 from .checks import (
     DEFAULT_PACKET_ENTRIES,
     Budget,
@@ -44,9 +49,13 @@ from .symbols import (
 
 __all__ = [
     "AllocationSite",
+    "AttrWrite",
     "Budget",
+    "CFG",
+    "CFGNode",
     "CallEdge",
     "CallGraph",
+    "CallSite",
     "ClassInfo",
     "DEFAULT_PACKET_ENTRIES",
     "FunctionInfo",
@@ -60,6 +69,7 @@ __all__ = [
     "analyze_epoch_flow",
     "analyze_program",
     "build_call_graph",
+    "build_cfg",
     "build_symbol_table",
     "module_name_for",
     "summarize",

@@ -46,11 +46,15 @@ import os
 import sys
 from typing import List, Optional, Sequence, Tuple
 
-from ..lint import (
+from ..report import (
+    EXIT_STALE,
     apply_baseline,
-    github_annotation,
+    emit_findings,
     iter_python_files,
     load_baseline,
+    report_stale_entries,
+    resolve_exit,
+    stale_baseline_entries,
     write_baseline,
 )
 from .checks import (
@@ -135,7 +139,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         files = load_files(args.paths)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_STALE
 
     budget_path = args.budget
     if budget_path is None and os.path.exists(DEFAULT_BUDGET_FILE):
@@ -151,7 +155,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         except (FileNotFoundError, ValueError) as exc:
             print(f"error: cannot load budget {budget_path}: {exc}",
                   file=sys.stderr)
-            return 2
+            return EXIT_STALE
 
     report = analyze_program(files, budget=budget, entry_points=args.entry)
 
@@ -162,7 +166,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "(remove it from the budget file)",
                 file=sys.stderr,
             )
-        return 2
+        return EXIT_STALE
 
     if args.graph:
         if args.graph == "json":
@@ -197,7 +201,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             baseline = load_baseline(baseline_path)
         except FileNotFoundError as exc:
             print(f"error: {exc}", file=sys.stderr)
-            return 2
+            return EXIT_STALE
+        active = _active_codes(args.select, args.ignore)
+        stale = stale_baseline_entries(findings, baseline, codes=active)
+        if stale:
+            report_stale_entries(stale)
+            return EXIT_STALE
         findings, suppressed = apply_baseline(findings, baseline)
 
     if args.as_json:
@@ -205,17 +214,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         payload["findings"] = [f.to_dict() for f in findings]
         payload["suppressed"] = suppressed
         print(json.dumps(payload, indent=2))
-    elif args.format == "github":
-        for finding in findings:
-            print(github_annotation(finding))
     else:
-        for finding in findings:
-            print(finding.format())
-        if findings:
-            print(f"{len(findings)} finding(s)")
-        if suppressed:
-            print(f"{suppressed} baselined finding(s) suppressed")
-    return 1 if findings else 0
+        emit_findings(findings, fmt=args.format, suppressed=suppressed)
+    return resolve_exit(findings)
+
+
+def _active_codes(select: Optional[str], ignore: Optional[str]) -> set:
+    keep = set(_CHECK_CODES)
+    if select:
+        keep &= {code.strip().upper() for code in select.split(",")}
+    if ignore:
+        keep -= {code.strip().upper() for code in ignore.split(",")}
+    return keep
 
 
 def _default_stops(report: ProgramReport) -> List[str]:

@@ -1,0 +1,232 @@
+"""Shared finding emission, baselines, and exit-code semantics.
+
+Every analysis CLI in :mod:`repro.analysis` — the file-local lint
+(``repro.analysis.lint``), the whole-program checks
+(``repro.analysis.program``), the typestate dataflow engine
+(``repro.analysis.dataflow``), and the ``python -m repro.analysis all``
+umbrella — renders findings and decides its exit status through this
+module, so CI can treat them interchangeably.
+
+Exit codes (uniform across all CLIs)
+------------------------------------
+======  ====================================================================
+0       Clean: no unsuppressed findings.
+1       Findings: at least one unsuppressed finding was reported.
+2       Stale configuration: a committed baseline entry counts more
+        occurrences than the tree actually has (debt was paid off but
+        the baseline was not regenerated), a budget entry names a
+        function that no longer exists, or an input path is missing.
+======  ====================================================================
+
+Baseline entries are keyed ``(path, code, message)`` with an occurrence
+count, **not** line numbers, so unrelated edits that shift lines do not
+invalidate the baseline; adding a second instance of a baselined
+violation in the same file still fails, and *removing* the violation
+without regenerating the baseline fails with exit 2 — baselines cannot
+quietly outlive the debt they were recording.
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+import sys
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    TextIO,
+    Tuple,
+)
+
+from .rules import Finding
+
+__all__ = [
+    "EXIT_CLEAN",
+    "EXIT_FINDINGS",
+    "EXIT_STALE",
+    "BaselineKey",
+    "iter_python_files",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "stale_baseline_entries",
+    "report_stale_entries",
+    "github_annotation",
+    "emit_findings",
+    "resolve_exit",
+]
+
+#: No unsuppressed findings.
+EXIT_CLEAN = 0
+#: At least one unsuppressed finding.
+EXIT_FINDINGS = 1
+#: Stale baseline/budget entry or unreadable input.
+EXIT_STALE = 2
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            out.append(path)
+        elif os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if not d.startswith(".") and d != "__pycache__"
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Baselines
+# ---------------------------------------------------------------------------
+
+#: Baseline key: stable across line-number churn.
+BaselineKey = Tuple[str, str, str]
+
+
+def _baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.path.replace("\\", "/"), finding.code, finding.message)
+
+
+def write_baseline(path: str, findings: Sequence[Finding]) -> int:
+    """Serialize the findings as a baseline file; returns entry count."""
+    counts: Dict[BaselineKey, int] = collections.Counter(
+        _baseline_key(f) for f in findings
+    )
+    entries = [
+        {"path": p, "code": c, "message": m, "count": n}
+        for (p, c, m), n in sorted(counts.items())
+    ]
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({"version": 1, "entries": entries}, handle, indent=2)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, int]:
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    counts: Dict[BaselineKey, int] = collections.Counter()
+    for entry in data.get("entries", []):
+        key = (entry["path"], entry["code"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[BaselineKey, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against a baseline.
+
+    Each baseline entry absorbs up to ``count`` occurrences of the same
+    (path, code, message); any excess is reported as new.
+    """
+    budget = collections.Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = _baseline_key(finding)
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed
+
+
+def stale_baseline_entries(
+    findings: Sequence[Finding],
+    baseline: Dict[BaselineKey, int],
+    codes: Optional[Set[str]] = None,
+) -> List[Tuple[BaselineKey, int, int]]:
+    """Baseline entries counting more debt than the tree still has.
+
+    Returns ``(key, expected, actual)`` for every entry whose recorded
+    ``count`` exceeds the number of matching findings in this run.  A
+    stale entry means a violation was fixed without regenerating the
+    baseline — left alone it would silently absorb the *next*
+    regression, so it fails the run (exit 2), mirroring the stale
+    budget-entry rule of ``repro.analysis.program``.
+
+    ``codes`` restricts the check to entries whose code was actually
+    run (``--select``/``--ignore`` must not make unrelated entries look
+    stale).
+    """
+    actual: Dict[BaselineKey, int] = collections.Counter(
+        _baseline_key(f) for f in findings
+    )
+    stale: List[Tuple[BaselineKey, int, int]] = []
+    for key, expected in sorted(baseline.items()):
+        if codes is not None and key[1] not in codes:
+            continue
+        if actual[key] < expected:
+            stale.append((key, expected, actual[key]))
+    return stale
+
+
+def report_stale_entries(
+    stale: Sequence[Tuple[BaselineKey, int, int]],
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Print stale-baseline diagnostics (one line per entry)."""
+    stream = stream if stream is not None else sys.stderr
+    for (path, code, message), expected, actual in stale:
+        print(
+            f"error: stale baseline entry: {path}: {code} {message!r} "
+            f"records {expected} occurrence(s) but the tree has {actual} "
+            "(regenerate with --write-baseline)",
+            file=stream,
+        )
+
+
+def github_annotation(finding: Finding) -> str:
+    """Render a finding as a GitHub Actions workflow command so CI
+    findings annotate the offending PR line."""
+    level = "error" if finding.severity == "error" else "warning"
+    # The message payload must be single-line; %0A encodes newlines.
+    message = f"{finding.code} {finding.message}".replace(
+        "%", "%25"
+    ).replace("\r", "").replace("\n", "%0A")
+    return (
+        f"::{level} file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.code}::{message}"
+    )
+
+
+def emit_findings(
+    findings: Sequence[Finding],
+    fmt: str = "text",
+    suppressed: int = 0,
+    stream: Optional[TextIO] = None,
+) -> None:
+    """Print findings in ``text`` or ``github`` format (shared by every
+    analysis CLI; JSON payloads differ per tool and stay in the CLIs)."""
+    stream = stream if stream is not None else sys.stdout
+    if fmt == "github":
+        for finding in findings:
+            print(github_annotation(finding), file=stream)
+        return
+    for finding in findings:
+        print(finding.format(), file=stream)
+    if findings:
+        print(f"{len(findings)} finding(s)", file=stream)
+    if suppressed:
+        print(f"{suppressed} baselined finding(s) suppressed", file=stream)
+
+
+def resolve_exit(findings: Sequence[Finding]) -> int:
+    """The uniform exit code for a completed run (0 clean, 1 findings)."""
+    return EXIT_FINDINGS if findings else EXIT_CLEAN

@@ -502,7 +502,8 @@ class PrintInLibraryRule(Rule):
     #: and the race-trace replayer (their findings are their stdout
     #: contract).
     EXEMPT_SUFFIXES = ("__main__.py", "analysis/lint.py",
-                       "analysis/races.py", "analysis/program/cli.py")
+                       "analysis/races.py", "analysis/program/cli.py",
+                       "analysis/report.py", "analysis/dataflow/cli.py")
     EXEMPT_DIRS = ("experiments", "benchmarks")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:

@@ -43,6 +43,18 @@ from contextlib import contextmanager
 from dataclasses import dataclass, fields as dataclass_fields, is_dataclass
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
+# Violation kinds and ownership-state names are the shared lifecycle
+# vocabulary: the static typestate checks (repro.analysis.dataflow,
+# W005) cite the same strings, so static and dynamic reports correlate.
+from .lifecycle import (
+    DOUBLE_ENQUEUE,
+    MUTATE_AFTER_SEND,
+    TRANSPORT_CHECKED_OUT,
+    TRANSPORT_IN_FLIGHT,
+    TRANSPORT_IN_RING,
+    USE_AFTER_DEQUEUE,
+)
+
 __all__ = [
     "SanitizerError",
     "Violation",
@@ -79,9 +91,9 @@ class SanitizerError(AssertionError):
 
 
 class _State(enum.Enum):
-    IN_FLIGHT = "in-flight"  # handed to a MessageBus, not yet delivered
-    IN_RING = "in-ring"  # sitting in a descriptor ring
-    CHECKED_OUT = "checked-out"  # dequeued; consumer owns it
+    IN_FLIGHT = TRANSPORT_IN_FLIGHT  # handed to a MessageBus, not yet delivered
+    IN_RING = TRANSPORT_IN_RING  # sitting in a descriptor ring
+    CHECKED_OUT = TRANSPORT_CHECKED_OUT  # dequeued; consumer owns it
 
 
 @dataclass
@@ -292,7 +304,7 @@ class DescriptorSanitizer:
         if entry is not None and entry.state is _State.IN_FLIGHT:
             self._record(
                 Violation(
-                    kind="double-enqueue",
+                    kind=DOUBLE_ENQUEUE,
                     obj_repr=_short(message),
                     channel=entry.channel,
                     send_site=entry.site,
@@ -322,7 +334,7 @@ class DescriptorSanitizer:
         if current != entry.snapshot:
             self._record(
                 Violation(
-                    kind="mutate-after-send",
+                    kind=MUTATE_AFTER_SEND,
                     obj_repr=_short(message),
                     channel=entry.channel,
                     send_site=entry.site,
@@ -350,7 +362,7 @@ class DescriptorSanitizer:
         if entry is not None and entry.state is _State.IN_RING:
             self._record(
                 Violation(
-                    kind="double-enqueue",
+                    kind=DOUBLE_ENQUEUE,
                     obj_repr=_short(descriptor),
                     channel=entry.channel,
                     send_site=entry.site,
@@ -382,7 +394,7 @@ class DescriptorSanitizer:
         if entry.state is _State.CHECKED_OUT:
             self._record(
                 Violation(
-                    kind="use-after-dequeue",
+                    kind=USE_AFTER_DEQUEUE,
                     obj_repr=_short(descriptor),
                     channel=ring_name,
                     send_site=entry.site,
@@ -401,7 +413,7 @@ class DescriptorSanitizer:
             if current != entry.snapshot:
                 self._record(
                     Violation(
-                        kind="mutate-after-send",
+                        kind=MUTATE_AFTER_SEND,
                         obj_repr=_short(descriptor),
                         channel=entry.channel,
                         send_site=entry.site,

@@ -279,7 +279,14 @@ class ShardedSessionTable(SessionTableView):
             self._lb_key(session.seid), shard
         ):
             raise ValueError(f"shard {shard} rejected session {session.seid}")
-        self.tables[shard].add(session)
+        try:
+            self.tables[shard].add(session)
+        except Exception:
+            # add() rejects duplicate SEID/TEID/UE-IP; the pin taken
+            # above must not outlive the failed install.
+            if self.lb is not None:
+                self.lb.release(self._lb_key(session.seid))
+            raise
         self._shard_by_seid[session.seid] = shard
 
     def remove(self, seid: int) -> Optional[UPFSession]:
@@ -304,7 +311,14 @@ class ShardedSessionTable(SessionTableView):
         session = self.tables[shard].remove(seid)
         if session is None:
             return False
-        self.tables[target].add(session)
+        try:
+            self.tables[target].add(session)
+        except Exception:
+            # Target rejected the session (e.g. a TEID collision with a
+            # resident session); restore it to the source shard so the
+            # session — and its buffered packets — is not lost.
+            self.tables[shard].add(session)
+            raise
         self._shard_by_seid[seid] = target
         if self.lb is not None:
             self.lb.pin(self._lb_key(seid), target)

@@ -641,13 +641,20 @@ class TestBaseline:
         bad.write_text("# padding\n# more padding\n" + self.BAD)
         assert main(["--baseline", str(baseline), str(bad)]) == 0
 
-    def test_fixed_finding_leaves_stale_entry_harmless(
-        self, tmp_path, capsys
-    ):
+    def test_fixed_finding_makes_baseline_stale(self, tmp_path, capsys):
+        # Paying off the debt without regenerating the baseline fails
+        # with exit 2: a stale entry would silently absorb the next
+        # regression of the same (path, code, message).
         bad = self._bad_file(tmp_path)
         baseline = tmp_path / "baseline.json"
         assert main(["--write-baseline", str(baseline), str(bad)]) == 0
         bad.write_text("t = 0\n")
+        assert main(["--baseline", str(baseline), str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "regenerate with --write-baseline" in err
+        # Regenerating clears the failure.
+        assert main(["--write-baseline", str(baseline), str(bad)]) == 0
         assert main(["--baseline", str(baseline), str(bad)]) == 0
 
     def test_missing_baseline_file_is_error(self, tmp_path, capsys):

@@ -1,0 +1,184 @@
+"""CLI tests for ``python -m repro.analysis.dataflow`` and the
+``python -m repro.analysis all`` umbrella."""
+
+import json
+import os
+import textwrap
+
+import pytest
+
+from repro.analysis.__main__ import main as umbrella_main
+from repro.analysis.dataflow import cli
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+DIRTY = {
+    "pkg/__init__.py": "",
+    "pkg/up.py": """
+        def emit(chan, desc):
+            chan.send(desc)
+            desc.seq = 2
+    """,
+}
+
+CLEAN = {
+    "pkg/__init__.py": "",
+    "pkg/up.py": """
+        def emit(chan, desc):
+            chan.send(desc)
+    """,
+}
+
+
+@pytest.fixture
+def write_tree(tmp_path, monkeypatch):
+    def _write(tree):
+        for relpath, source in sorted(tree.items()):
+            path = tmp_path / relpath
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        monkeypatch.chdir(tmp_path)
+        return tmp_path
+    return _write
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, write_tree, capsys):
+        write_tree(CLEAN)
+        assert cli.main(["pkg"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_findings_exit_one(self, write_tree, capsys):
+        write_tree(DIRTY)
+        assert cli.main(["pkg"]) == 1
+        out = capsys.readouterr().out
+        assert "W005" in out
+        assert "call chain:" in out
+
+    def test_missing_path_exits_two(self, write_tree, capsys):
+        write_tree(CLEAN)
+        assert cli.main(["nonexistent"]) == 2
+
+    def test_missing_baseline_exits_two(self, write_tree, capsys):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--baseline", "missing.json"]) == 2
+
+
+class TestSelection:
+    def test_select_other_code_skips_finding(self, write_tree):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--select", "W006"]) == 0
+
+    def test_ignore_silences_finding(self, write_tree):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--ignore", "W005"]) == 0
+
+
+class TestFormats:
+    def test_github_annotations(self, write_tree, capsys):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out
+        assert "W005" in out
+
+    def test_json_payload(self, write_tree, capsys):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--json"]) == 1
+        data = json.loads(capsys.readouterr().out)
+        assert data["findings"][0]["code"] == "W005"
+        assert data["findings"][0]["chain"]
+        assert data["stats"]["functions"] >= 1
+
+
+class TestBaseline:
+    def test_baseline_suppresses_and_exits_zero(
+        self, write_tree, capsys
+    ):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--write-baseline", "base.json"]) == 0
+        capsys.readouterr()
+        assert cli.main(["pkg", "--baseline", "base.json"]) == 0
+        assert "suppressed" in capsys.readouterr().out
+
+    def test_line_shift_keeps_baseline_valid(
+        self, tmp_path, write_tree, capsys
+    ):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--write-baseline", "base.json"]) == 0
+        shifted = "# leading comment\n\n" + textwrap.dedent(
+            DIRTY["pkg/up.py"]
+        )
+        (tmp_path / "pkg" / "up.py").write_text(shifted)
+        capsys.readouterr()
+        assert cli.main(["pkg", "--baseline", "base.json"]) == 0
+
+    def test_fixed_finding_makes_baseline_stale(
+        self, tmp_path, write_tree, capsys
+    ):
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--write-baseline", "base.json"]) == 0
+        (tmp_path / "pkg" / "up.py").write_text(
+            textwrap.dedent(CLEAN["pkg/up.py"])
+        )
+        capsys.readouterr()
+        assert cli.main(["pkg", "--baseline", "base.json"]) == 2
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+        assert "regenerate with --write-baseline" in err
+
+    def test_stale_gate_scoped_to_selected_codes(
+        self, tmp_path, write_tree, capsys
+    ):
+        # A baselined W005 must not count as stale when only W006 runs.
+        write_tree(DIRTY)
+        assert cli.main(["pkg", "--write-baseline", "base.json"]) == 0
+        capsys.readouterr()
+        assert cli.main(
+            ["pkg", "--select", "W006", "--baseline", "base.json"]
+        ) == 0
+
+    def test_default_baseline_picked_up_from_cwd(
+        self, write_tree, capsys
+    ):
+        write_tree(DIRTY)
+        assert cli.main(
+            ["pkg", "--write-baseline", cli.DEFAULT_BASELINE_FILE]
+        ) == 0
+        capsys.readouterr()
+        assert cli.main(["pkg"]) == 0
+
+
+class TestRepoIntegration:
+    def test_repo_tree_runs_clean_with_committed_baseline(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code = cli.main([os.path.join("src", "repro"), "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["findings"] == []
+
+
+class TestUmbrella:
+    def test_all_runs_three_stages_clean_on_repo(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code = umbrella_main(["all", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert sorted(data["stages"]) == ["dataflow", "lint", "program"]
+        assert data["exit_codes"] == {
+            "lint": 0, "program": 0, "dataflow": 0,
+        }
+
+    def test_all_text_mode_prints_stage_headers(
+        self, monkeypatch, capsys
+    ):
+        monkeypatch.chdir(REPO_ROOT)
+        code = umbrella_main(["all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for stage in ("lint", "program", "dataflow"):
+            assert f"== {stage} ==" in out

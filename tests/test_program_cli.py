@@ -179,7 +179,8 @@ class TestRepoIntegration:
         # Acceptance: disabled, the analyzer adds zero import-time cost.
         script = (
             "import sys; import repro.up, repro.cp, repro.sim; "
-            "assert not any(m.startswith('repro.analysis.program') "
+            "assert not any(m.startswith(('repro.analysis.program', "
+            "'repro.analysis.dataflow')) "
             "for m in sys.modules), sorted(sys.modules)"
         )
         env = dict(os.environ)

@@ -380,6 +380,47 @@ class TestShardedSessionTable:
         assert lb.rejected == 1
         assert len(view) == 0
 
+    def test_failed_add_releases_the_shard_pin(self):
+        # Regression (found by the W007 typestate check): a duplicate
+        # UE-IP/TEID rejection in the shard table used to leak the pin
+        # taken just before — the unit's session counter stayed
+        # incremented for a session that was never installed.
+        lb = UEAwareLoadBalancer()
+        for unit_id in range(4):
+            lb.add_unit(UnitHandle(unit_id=unit_id, capacity_sessions=100))
+        _, _, view = self._view(lb=lb)
+        view.add(make_session(1))
+        before = lb.distribution()
+        dup = UPFSession(
+            seid=2, ue_ip=UE_BASE + 1, ul_teid=steered_teid(1),
+        )
+        with pytest.raises(ValueError):
+            view.add(dup)
+        assert lb.distribution() == before
+        assert "seid-2" not in lb.affinity
+        assert view.shard_of(2) is None
+
+    def test_failed_rehome_restores_the_source_shard(self):
+        # Regression (found by the W007 typestate check): when the
+        # target shard rejected the moved session (key collision with a
+        # resident), the session had already been removed from the
+        # source — it vanished along with its buffered packets.
+        router, tables, view = self._view()
+        session = make_session(1)
+        view.add(session)
+        source = view.shard_of(1)
+        target = (source + 1) % 4
+        squatter = UPFSession(
+            seid=99, ue_ip=session.ue_ip, ul_teid=0x9990,
+        )
+        tables[target].add(squatter)
+        with pytest.raises(ValueError):
+            view.rehome(1, target)
+        assert view.shard_of(1) == source
+        assert tables[source].by_seid(1) is session
+        assert view.by_seid(1) is session
+        assert tables[target].by_seid(1) is None
+
 
 # ----------------------------------------------------------------------
 # ShardedUserPlane: dispatch, aggregation, failure/rebalance
